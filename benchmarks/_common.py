@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints its experiment table to stdout (visible with
+``pytest benchmarks/ --benchmark-only -s``) and writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md numbers can be
+regenerated and diffed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_results(name: str, table: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table, encoding="utf-8")
+    print()
+    print(table)

@@ -1,0 +1,81 @@
+"""A1 — Design-choice ablations (DESIGN.md §5).
+
+Sweeps the knobs the two P2P algorithms expose:
+
+- CEMPaR region count R: more regions = smaller regional models + more
+  queries (accuracy/cost trade);
+- PACE top-k: how many nearest models vote;
+- PACE LSH signature bits: retrieval sharpness.
+
+Expected shape: CEMPaR accuracy degrades slightly as R grows (each cascade
+sees less data) while upload traffic spreads; PACE has an interior optimum
+in k; extreme LSH bit counts (too coarse / too sharp) underperform.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, run_experiment
+from repro.bench.reporting import format_table
+
+from _common import write_results
+
+BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2, seed=0)
+
+
+def run_all():
+    rows = []
+    for regions in (1, 2, 4):
+        result = run_experiment(
+            ExperimentSetting(
+                algorithm="cempar",
+                algorithm_options={"num_regions": regions},
+                **BASE,
+            )
+        )
+        rows.append(
+            [
+                "cempar",
+                f"R={regions}",
+                result.micro_f1,
+                result.macro_f1,
+                result.total_bytes,
+            ]
+        )
+    for top_k in (2, 6, 11):
+        result = run_experiment(
+            ExperimentSetting(
+                algorithm="pace", algorithm_options={"top_k": top_k}, **BASE
+            )
+        )
+        rows.append(
+            ["pace", f"k={top_k}", result.micro_f1, result.macro_f1,
+             result.total_bytes]
+        )
+    for bits in (4, 8, 16):
+        result = run_experiment(
+            ExperimentSetting(
+                algorithm="pace", algorithm_options={"lsh_bits": bits}, **BASE
+            )
+        )
+        rows.append(
+            ["pace", f"bits={bits}", result.micro_f1, result.macro_f1,
+             result.total_bytes]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="a1-ablation")
+def test_a1_ablation_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "A1  Design-choice ablations",
+        ["algorithm", "knob", "microF1", "macroF1", "total_bytes"],
+        rows,
+    )
+    write_results("a1_ablation", table)
+
+    cempar_rows = [row for row in rows if row[0] == "cempar"]
+    # Fewer regions -> more pooled data per cascade -> at least as accurate.
+    assert cempar_rows[0][2] >= cempar_rows[-1][2] - 0.05
+    # All configurations stay in a sane accuracy band.
+    assert all(0.2 <= row[2] <= 1.0 for row in rows)

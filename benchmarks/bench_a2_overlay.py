@@ -1,0 +1,147 @@
+"""A2 — Overlay ablation (paper §3: "topology of the P2P network" is one of
+the varied parameters; P2PDMT supports structured and unstructured
+overlays).
+
+Measures, per overlay type and network size: lookup hop counts, lookup
+success under stale routing tables (crash 25 % of nodes, no repair), and
+success after one stabilization round.  For the unstructured overlay the
+broadcast primitives are measured instead of lookups (its role in PACE).
+
+Expected shape: DHT hops grow ~log N; success collapses partially when
+tables are stale and recovers fully after stabilization; flooding reaches
+everyone at higher message cost than gossip.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.idspace import key_id_for
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.overlay.unstructured import UnstructuredOverlay
+
+from _common import write_results
+
+SIZES = (32, 128)
+LOOKUPS = 60
+
+
+def build(overlay_type, n):
+    if overlay_type == "chord":
+        overlay = ChordOverlay()
+    elif overlay_type == "kademlia":
+        overlay = KademliaOverlay(seed=1)
+    elif overlay_type == "pastry":
+        overlay = PastryOverlay()
+    else:
+        overlay = UnstructuredOverlay(degree=4, seed=1)
+    for address in range(n):
+        overlay.join(address)
+    stabilize = getattr(overlay, "stabilize", None)
+    if callable(stabilize):
+        stabilize()
+    return overlay
+
+
+def lookup_stats(overlay, n):
+    hops, successes = [], 0
+    for index in range(LOOKUPS):
+        origin = index % n
+        if origin not in overlay.members():
+            origin = min(overlay.members())
+        result = overlay.route(origin, key_id_for(f"key{index}"))
+        hops.append(result.hops)
+        successes += result.success
+    return statistics.mean(hops), successes / LOOKUPS
+
+
+def dht_rows(overlay_type):
+    rows = []
+    for n in SIZES:
+        overlay = build(overlay_type, n)
+        hops_fresh, success_fresh = lookup_stats(overlay, n)
+        # Crash a quarter of the nodes; tables go stale.
+        for address in range(0, n, 4):
+            overlay.leave(address)
+        hops_stale, success_stale = lookup_stats(overlay, n)
+        overlay.stabilize()
+        _, success_repaired = lookup_stats(overlay, n)
+        rows.append(
+            [
+                overlay_type,
+                n,
+                hops_fresh,
+                success_fresh,
+                success_stale,
+                success_repaired,
+                overlay.staleness(),
+            ]
+        )
+    return rows
+
+
+def broadcast_rows():
+    rows = []
+    for n in SIZES:
+        overlay = build("unstructured", n)
+        flood = overlay.flood(0, ttl=10)
+        gossip = overlay.gossip(0, fanout=3, rounds=12)
+        rows.append(
+            [
+                "flood",
+                n,
+                flood.coverage(n),
+                flood.messages,
+            ]
+        )
+        rows.append(
+            [
+                "gossip",
+                n,
+                gossip.coverage(n),
+                gossip.messages,
+            ]
+        )
+    return rows
+
+
+def run_all():
+    dht = dht_rows("chord") + dht_rows("kademlia") + dht_rows("pastry")
+    return dht, broadcast_rows()
+
+
+@pytest.mark.benchmark(group="a2-overlay")
+def test_a2_overlay_table(benchmark):
+    dht, broadcast = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "A2a  DHT lookups: fresh / stale (25% crashed) / after stabilize",
+        [
+            "overlay",
+            "N",
+            "hops",
+            "success_fresh",
+            "success_stale",
+            "success_repaired",
+            "staleness_after",
+        ],
+        dht,
+    )
+    table += "\n" + format_table(
+        "A2b  Unstructured broadcast primitives",
+        ["primitive", "N", "coverage", "messages"],
+        broadcast,
+    )
+    write_results("a2_overlay", table)
+
+    chord = [row for row in dht if row[0] == "chord"]
+    # Fresh lookups always succeed; repair restores success.
+    assert all(row[3] == 1.0 for row in chord)
+    assert all(row[5] >= row[4] for row in chord)
+    # Hop counts grow sublinearly with N.
+    assert chord[1][2] <= chord[0][2] * 3
+    # Flooding covers the whole connected overlay.
+    flood_rows = [row for row in broadcast if row[0] == "flood"]
+    assert all(row[2] == 1.0 for row in flood_rows)

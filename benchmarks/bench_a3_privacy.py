@@ -1,0 +1,103 @@
+"""A3 — Privacy-preserving pluggability (paper §2: deploying a privacy-
+preserving P2P classification algorithm makes P2PDocTagger inherit the
+property).
+
+Sweeps the privacy budget epsilon of :class:`PrivatePaceClassifier`
+(Laplace-randomized model bundles) against plain PACE.
+
+Expected shape: accuracy approaches plain PACE as epsilon grows (weak
+privacy) and degrades as epsilon shrinks (strong privacy) — the standard
+privacy/utility curve.  Traffic is unchanged: the randomized bundles have
+the same wire size.
+"""
+
+import pytest
+
+from repro.bench.harness import standard_corpus
+from repro.bench.reporting import format_table
+from repro.core.tagger import P2PDocTaggerSystem, SystemConfig
+from repro.p2pclass.base import corpus_to_peer_data
+from repro.p2pclass.pace import PaceClassifier, PaceConfig
+from repro.p2pclass.private import PrivatePaceClassifier, PrivatePaceConfig
+from repro.data.splits import per_user_split
+from repro.ml.metrics import micro_f1, macro_f1
+from repro.sim.distribution import ShardSpec
+from repro.sim.scenario import Scenario, ScenarioConfig
+from repro.text.vectorizer import PreprocessingPipeline
+
+from _common import write_results
+
+EPSILONS = (0.1, 0.5, 2.0, 10.0)
+NUM_PEERS = 12
+
+
+def setting():
+    corpus = standard_corpus(num_users=NUM_PEERS, seed=0, docs_per_user=40)
+    train, test = per_user_split(corpus, 0.2, seed=0)
+    pipeline = PreprocessingPipeline(dimension=2 ** 16)
+    peer_data = corpus_to_peer_data(train, pipeline)
+    test_items = [
+        (pipeline.process(d.text), d.tags, d.owner)
+        for d in test.documents[:60]
+    ]
+    return peer_data, test_items, corpus.tag_universe()
+
+
+def fresh_scenario():
+    return Scenario(
+        ScenarioConfig(
+            num_peers=NUM_PEERS, shard=ShardSpec(num_peers=NUM_PEERS), seed=0
+        )
+    )
+
+
+def evaluate(classifier, test_items, tags):
+    true_sets, predicted = [], []
+    for vector, doc_tags, owner in test_items:
+        true_sets.append(doc_tags)
+        predicted.append(classifier.predict_tags(owner, vector))
+    return (
+        micro_f1(true_sets, predicted, tags),
+        macro_f1(true_sets, predicted, tags),
+    )
+
+
+def run_all():
+    peer_data, test_items, tags = setting()
+    rows = []
+    plain = PaceClassifier(fresh_scenario(), peer_data, tags, PaceConfig())
+    plain.train()
+    micro, macro = evaluate(plain, test_items, tags)
+    rows.append(["pace (no privacy)", "-", micro, macro,
+                 plain.scenario.stats.total_bytes])
+    for epsilon in EPSILONS:
+        private = PrivatePaceClassifier(
+            fresh_scenario(), peer_data, tags,
+            PrivatePaceConfig(epsilon=epsilon),
+        )
+        private.train()
+        micro, macro = evaluate(private, test_items, tags)
+        rows.append(
+            ["private-pace", epsilon, micro, macro,
+             private.scenario.stats.total_bytes]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="a3-privacy")
+def test_a3_privacy_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "A3  Privacy budget sweep (Laplace-randomized PACE bundles)",
+        ["algorithm", "epsilon", "microF1", "macroF1", "total_bytes"],
+        rows,
+    )
+    write_results("a3_privacy", table)
+
+    plain = rows[0]
+    by_eps = {row[1]: row for row in rows[1:]}
+    # Weak privacy converges to plain PACE; strong privacy costs accuracy.
+    assert by_eps[10.0][2] >= by_eps[0.1][2]
+    assert plain[2] >= by_eps[0.1][2] - 0.02
+    # Randomization does not change the wire size.
+    assert abs(by_eps[2.0][4] - plain[4]) < 0.2 * plain[4]

@@ -1,0 +1,71 @@
+"""A4 — Threshold policy ablation (the AutoTag decision rule).
+
+Compares the fixed 0.5 threshold (the demo's default), fixed thresholds at
+other operating points, top-k assignment, and per-tag thresholds tuned on
+training scores (``P2PDocTaggerSystem.tune_thresholds``).
+
+Expected shape: tuned per-tag thresholds beat any single fixed threshold on
+macro-F1 (rare tags need laxer thresholds); top-k is competitive when k
+matches the true mean tags/document.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, build_system
+from repro.bench.reporting import format_table
+from repro.core.multilabel import FixedThreshold, TopKPolicy
+from repro.ml.metrics import MultiLabelReport
+
+from _common import write_results
+
+BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2, seed=0)
+
+
+def evaluate_policy(system, policy):
+    documents = system.test_corpus.documents[:60]
+    true_sets, predicted = [], []
+    for document in documents:
+        origin = system._owner_to_peer[document.owner]
+        scores = system.predict_scores(origin, document)
+        true_sets.append(document.tags)
+        predicted.append(policy.assign(scores))
+    report = MultiLabelReport.compute(
+        true_sets, predicted, tags=system.corpus.tag_universe()
+    )
+    return report.micro_f1, report.macro_f1, report.hamming_loss
+
+
+def run_all():
+    system = build_system(ExperimentSetting(algorithm="cempar", **BASE))
+    system.train()
+    rows = []
+    for threshold in (0.3, 0.5, 0.7):
+        micro, macro, hamming = evaluate_policy(
+            system, FixedThreshold(threshold)
+        )
+        rows.append([f"fixed({threshold})", micro, macro, hamming])
+    for k in (1, 2, 3):
+        micro, macro, hamming = evaluate_policy(system, TopKPolicy(k=k))
+        rows.append([f"top-{k}", micro, macro, hamming])
+    system.tune_thresholds()
+    micro, macro, hamming = evaluate_policy(system, system.policy)
+    rows.append(["per-tag tuned", micro, macro, hamming])
+    return rows
+
+
+@pytest.mark.benchmark(group="a4-threshold")
+def test_a4_threshold_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "A4  AutoTag assignment-policy ablation (CEMPaR scores)",
+        ["policy", "microF1", "macroF1", "hamming"],
+        rows,
+    )
+    write_results("a4_threshold", table)
+
+    by_policy = {row[0]: row for row in rows}
+    tuned = by_policy["per-tag tuned"]
+    fixed_half = by_policy["fixed(0.5)"]
+    # Tuning never loses much and typically helps macro-F1.
+    assert tuned[2] >= fixed_half[2] - 0.05
+    assert all(0.0 <= row[3] <= 1.0 for row in rows)

@@ -1,0 +1,66 @@
+"""E1 — Tagging accuracy (paper §3's 20 % train / 80 % auto-tag protocol).
+
+Regenerates the headline comparison: CEMPaR and PACE vs the centralized
+upper bound, the local-only lower bound, and the popularity floor, averaged
+over three corpus seeds.
+
+Expected shape: centralized >= CEMPaR ~ PACE > local-only (macro especially)
+> popularity; the P2P methods recover most of the centralized F1 without
+centralizing any document.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, run_experiment
+from repro.bench.reporting import format_table
+
+from _common import write_results
+
+SEEDS = (0, 1, 2)
+ALGORITHMS = ("centralized", "cempar", "nbagg", "pace", "local", "popularity")
+BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2)
+
+
+def run_all():
+    rows = []
+    for algorithm in ALGORITHMS:
+        micro, macro, hamming, example = [], [], [], []
+        for seed in SEEDS:
+            result = run_experiment(
+                ExperimentSetting(algorithm=algorithm, seed=seed, **BASE)
+            )
+            micro.append(result.micro_f1)
+            macro.append(result.macro_f1)
+            hamming.append(result.hamming)
+            example.append(result.report.metrics.example_f1)
+        rows.append(
+            [
+                algorithm,
+                statistics.mean(micro),
+                statistics.mean(macro),
+                statistics.mean(example),
+                statistics.mean(hamming),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e1-accuracy")
+def test_e1_accuracy_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "E1  Tagging accuracy (20% train / 80% auto-tag, mean of 3 seeds)",
+        ["algorithm", "microF1", "macroF1", "exampleF1", "hamming"],
+        rows,
+    )
+    write_results("e1_accuracy", table)
+
+    by_algorithm = {row[0]: row for row in rows}
+    # Shape assertions the paper's claims imply.
+    assert by_algorithm["centralized"][1] >= by_algorithm["local"][1]
+    assert by_algorithm["cempar"][1] > by_algorithm["popularity"][1]
+    assert by_algorithm["pace"][2] > by_algorithm["local"][2]  # macro gap
+    # P2P recovers most of the centralized micro-F1.
+    assert by_algorithm["cempar"][1] >= 0.8 * by_algorithm["centralized"][1]

@@ -1,0 +1,85 @@
+"""E2 — Communication cost (paper §1.1: "reduces computation and
+communication cost"; §2's privacy/efficiency discussion).
+
+Measures, per strategy: training-phase traffic, query-phase traffic for a
+fixed prediction workload, and load concentration (share of all received
+bytes at the busiest peer — the centralized server's bottleneck).
+
+Expected shape: local-only is free but inaccurate (E1); centralized is
+cheap in total bytes at this scale but concentrates ~100 % of traffic at
+one server and pays per-query round trips forever; CEMPaR's one-shot SV
+upload spreads load across super-peers with cheap vector queries; PACE pays
+the broadcast up front and then predicts for free.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, build_system
+from repro.bench.reporting import format_table
+
+from _common import write_results
+
+BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2, seed=0)
+QUERY_COUNT = 30
+
+
+def measure(algorithm: str):
+    system = build_system(ExperimentSetting(algorithm=algorithm, **BASE))
+    system.train()
+    stats = system.scenario.stats
+    train_bytes = stats.total_bytes
+    train_messages = stats.total_messages
+    received = stats.per_peer_received
+    concentration = (
+        max(received.values()) / sum(received.values())
+        if received else 0.0
+    )
+    documents = system.test_corpus.documents[:QUERY_COUNT]
+    num_peers = len(system.peers)
+    for index, document in enumerate(documents):
+        # Symmetric query workload: every peer tags some documents.
+        origin = index % num_peers
+        system.predict_scores(origin, document)
+    query_bytes = stats.total_bytes - train_bytes
+    return [
+        algorithm,
+        train_messages,
+        train_bytes,
+        query_bytes // max(1, len(documents)),
+        concentration,
+    ]
+
+
+def run_all():
+    return [
+        measure(algorithm)
+        for algorithm in (
+            "centralized", "cempar", "nbagg", "pace", "local", "popularity"
+        )
+    ]
+
+
+@pytest.mark.benchmark(group="e2-communication")
+def test_e2_communication_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        f"E2  Communication cost (training + {QUERY_COUNT} predictions)",
+        [
+            "algorithm",
+            "train_msgs",
+            "train_bytes",
+            "bytes/query",
+            "max_rx_share",
+        ],
+        rows,
+    )
+    write_results("e2_communication", table)
+
+    by_algorithm = {row[0]: row for row in rows}
+    # The centralized server is the bottleneck; P2P spreads load.
+    assert by_algorithm["centralized"][4] > by_algorithm["cempar"][4]
+    # PACE predictions are free; centralized ones are not.
+    assert by_algorithm["pace"][3] == 0
+    assert by_algorithm["centralized"][3] > 0
+    # Local-only never communicates.
+    assert by_algorithm["local"][2] == 0

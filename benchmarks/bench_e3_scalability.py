@@ -1,0 +1,66 @@
+"""E3 — Scalability with network size (paper §1.1: "P2PDocTagger scales
+well even in the presence of large amount of data or large number of
+peers").
+
+Network grows while per-user holdings stay fixed (more peers = more total
+data, the organic growth mode).  Reported per N: accuracy and *per-peer*
+communication.
+
+Expected shape: P2P accuracy is stable or improves with N (the pooled
+training set grows); per-peer cost grows slowly for CEMPaR (log-factor DHT
+routes) while PACE's broadcast cost per peer grows linearly — its known
+scalability trade-off.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, run_experiment
+from repro.bench.reporting import format_table
+
+from _common import write_results
+
+SIZES = (6, 12, 18, 24)
+BASE = dict(docs_per_user=30, train_fraction=0.2, seed=0, max_eval_documents=50)
+
+
+def run_all():
+    rows = []
+    for num_users in SIZES:
+        for algorithm in ("cempar", "pace"):
+            result = run_experiment(
+                ExperimentSetting(
+                    algorithm=algorithm, num_users=num_users, **BASE
+                )
+            )
+            per_peer_bytes = result.total_bytes // num_users
+            rows.append(
+                [
+                    algorithm,
+                    num_users,
+                    result.micro_f1,
+                    result.macro_f1,
+                    per_peer_bytes,
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e3-scalability")
+def test_e3_scalability_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "E3  Scalability with number of peers (fixed docs/user)",
+        ["algorithm", "peers", "microF1", "macroF1", "bytes/peer"],
+        rows,
+    )
+    write_results("e3_scalability", table)
+
+    cempar = {row[1]: row for row in rows if row[0] == "cempar"}
+    pace = {row[1]: row for row in rows if row[0] == "pace"}
+    # Accuracy does not collapse as the network grows.
+    assert cempar[SIZES[-1]][2] >= cempar[SIZES[0]][2] - 0.1
+    # PACE per-peer broadcast cost grows with N; CEMPaR grows slower.
+    assert pace[SIZES[-1]][4] > pace[SIZES[0]][4]
+    cempar_growth = cempar[SIZES[-1]][4] / max(1, cempar[SIZES[0]][4])
+    pace_growth = pace[SIZES[-1]][4] / max(1, pace[SIZES[0]][4])
+    assert cempar_growth < pace_growth

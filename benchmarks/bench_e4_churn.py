@@ -1,0 +1,101 @@
+"""E4 — Churn resilience (paper §3: "churn/attrition rate of the P2P
+network" is one of the demonstrated scenario knobs; §1.1: "no single point
+of failure").
+
+Training and prediction run while peers leave and rejoin under exponential
+churn of varying aggressiveness.  Reported: accuracy, lost contributions
+(uploads/queries that failed because a lookup or a peer was down), and DHT
+lookup failures.
+
+Expected shape: accuracy degrades gracefully as sessions shorten; lookup
+failures and lost uploads rise; the static network is the upper envelope.
+The centralized baseline is included at the harshest churn level to show
+the single-point-of-failure contrast (its server being down stalls
+*everything*).
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, build_system
+from repro.bench.reporting import format_table
+
+from _common import write_results
+
+BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2, seed=0)
+# (label, churn model, mean online seconds)
+LEVELS = (
+    ("none", "none", 0.0),
+    ("mild", "exponential", 1200.0),
+    ("heavy", "exponential", 200.0),
+)
+
+
+def measure(algorithm: str, label: str, churn: str, session: float):
+    system = build_system(
+        ExperimentSetting(
+            algorithm=algorithm,
+            churn=churn,
+            mean_session=session,
+            mean_downtime=60.0,
+            **BASE,
+        )
+    )
+    system.train()
+    report = system.evaluate(max_documents=50)
+    counters = system.scenario.stats.counters
+    lost = (
+        counters.get("cempar_upload_lost", 0)
+        + counters.get("cempar_upload_lookup_failed", 0)
+        + counters.get("cempar_upload_skipped", 0)
+        + counters.get("pace_broadcast_skipped", 0)
+        + counters.get("central_upload_lost", 0)
+    )
+    lookup_failures = counters.get("cempar_query_lookup_failed", 0) + counters.get(
+        "cempar_query_lost", 0
+    ) + counters.get("central_query_lost", 0)
+    maintenance = system.scenario.stats.bytes_for("overlay.maintenance")
+    return [
+        algorithm,
+        label,
+        report.metrics.micro_f1,
+        report.metrics.macro_f1,
+        lost,
+        lookup_failures,
+        counters.get("churn_leaves", 0),
+        maintenance,
+    ]
+
+
+def run_all():
+    rows = []
+    for label, churn, session in LEVELS:
+        rows.append(measure("cempar", label, churn, session))
+    rows.append(measure("pace", "heavy", "exponential", 200.0))
+    rows.append(measure("centralized", "heavy", "exponential", 200.0))
+    return rows
+
+
+@pytest.mark.benchmark(group="e4-churn")
+def test_e4_churn_table(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "E4  Accuracy and losses under churn (exponential sessions)",
+        [
+            "algorithm",
+            "churn",
+            "microF1",
+            "macroF1",
+            "lost_uploads",
+            "failed_queries",
+            "leaves",
+            "maint_bytes",
+        ],
+        rows,
+    )
+    write_results("e4_churn", table)
+
+    cempar = {row[1]: row for row in rows if row[0] == "cempar"}
+    # Static network is the upper envelope; degradation is graceful.
+    assert cempar["none"][2] >= cempar["heavy"][2] - 0.05
+    assert cempar["none"][4] == 0  # nothing lost without churn
+    assert cempar["heavy"][6] > 0  # churn actually happened

@@ -1,0 +1,92 @@
+"""E7 — Suggestion quality and the Confidence slider (paper Fig. 3).
+
+Two views of the Suggestion Cloud data:
+
+- ranked quality: precision@k / recall@k of the suggested tags against the
+  users' true tags, for k in {1, 3, 5};
+- the slider: sweeping the confidence threshold trades precision (among
+  kept suggestions) against how many true tags get struck out — exactly the
+  behaviour the Fig. 3 slider exposes.
+
+Expected shape: precision@1 > precision@3 > precision@5; recall grows with
+k; raising the threshold raises kept-precision and lowers kept-recall.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSetting, build_system
+from repro.bench.reporting import format_table
+from repro.ml.metrics import mean_precision_at_k, mean_recall_at_k
+
+from _common import write_results
+
+BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2, seed=0)
+KS = (1, 3, 5)
+THRESHOLDS = (0.1, 0.3, 0.5, 0.7)
+
+
+def run_all():
+    system = build_system(ExperimentSetting(algorithm="cempar", **BASE))
+    system.train()
+    documents = system.test_corpus.documents[:40]
+    true_sets, ranked_lists, suggestion_sets = [], [], []
+    for document in documents:
+        peer = system.peer_of(document)
+        suggestions = peer.suggest_tags(document, confidence_threshold=0.0)
+        ranked = [
+            s.tag
+            for s in sorted(suggestions, key=lambda s: -s.confidence)
+        ]
+        true_sets.append(document.tags)
+        ranked_lists.append(ranked)
+        suggestion_sets.append(suggestions)
+
+    rows = []
+    for k in KS:
+        rows.append(
+            [
+                f"@{k}",
+                mean_precision_at_k(true_sets, ranked_lists, k),
+                mean_recall_at_k(true_sets, ranked_lists, k),
+            ]
+        )
+
+    slider_rows = []
+    for threshold in THRESHOLDS:
+        kept_correct = kept_total = struck_true = 0
+        for truth, suggestions in zip(true_sets, suggestion_sets):
+            for suggestion in suggestions:
+                kept = suggestion.confidence >= threshold
+                if kept:
+                    kept_total += 1
+                    kept_correct += suggestion.tag in truth
+                elif suggestion.tag in truth:
+                    struck_true += 1
+        precision = kept_correct / kept_total if kept_total else 0.0
+        slider_rows.append([threshold, kept_total, precision, struck_true])
+    return rows, slider_rows
+
+
+@pytest.mark.benchmark(group="e7-suggestions")
+def test_e7_suggestions_table(benchmark):
+    rows, slider_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "E7a  Suggestion ranking quality",
+        ["k", "precision@k", "recall@k"],
+        rows,
+    )
+    table += "\n" + format_table(
+        "E7b  Confidence slider sweep",
+        ["threshold", "kept", "precision_kept", "true_tags_struck"],
+        slider_rows,
+    )
+    write_results("e7_suggestions", table)
+
+    # Ranking shape: precision decreases with k, recall increases.
+    precisions = [row[1] for row in rows]
+    recalls = [row[2] for row in rows]
+    assert precisions[0] >= precisions[-1]
+    assert recalls == sorted(recalls)
+    # Slider shape: higher threshold keeps fewer, more precise suggestions.
+    kept = [row[1] for row in slider_rows]
+    assert kept == sorted(kept, reverse=True)

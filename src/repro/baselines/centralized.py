@@ -1,0 +1,147 @@
+"""Centralized baseline: ship all data to a server, train there.
+
+This is the setting the paper criticizes (scalability, single point of
+failure, privacy) and the accuracy reference point: the P2P methods aim to
+approach its F1 while transmitting far fewer bytes and never centralizing
+document vectors.
+
+Communication accounting: every peer uploads its raw tagged document vectors
+to the server (charged through the simulated network); every prediction
+sends the untagged vector to the server and receives scores back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.calibration import PlattCalibrator
+from repro.ml.linear_svm import LinearSVM, LinearSVMModel
+from repro.ml.sparse import SparseVector
+from repro.p2pclass.base import (
+    P2PTagClassifier,
+    PeerData,
+    TaggedVector,
+    binary_problems,
+)
+from repro.sim.messages import Message
+from repro.sim.scenario import Scenario
+
+MSG_DATA_UPLOAD = "central.data_upload"
+MSG_QUERY = "central.query"
+MSG_PREDICTION = "central.prediction"
+
+
+@dataclass
+class CentralizedConfig:
+    """Centralized baseline hyperparameters."""
+
+    server: int = 0
+    lambda_reg: float = 1e-4
+    epochs: int = 15
+    max_negative_ratio: float = 5.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+
+
+class CentralizedTagger(P2PTagClassifier):
+    """All data at one server; linear SVM per tag over the pooled corpus."""
+
+    traffic_prefix = "central"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        peer_data: PeerData,
+        tags=None,
+        config: Optional[CentralizedConfig] = None,
+    ) -> None:
+        super().__init__(scenario, peer_data, tags)
+        self.config = config or CentralizedConfig()
+        self.config.validate()
+        if self.config.server not in scenario.peer_addresses:
+            raise ConfigurationError(
+                f"server {self.config.server} is not a scenario peer"
+            )
+        self._models: Dict[str, LinearSVMModel] = {}
+        self._calibrators: Dict[str, PlattCalibrator] = {}
+
+    def train(self) -> None:
+        cfg = self.config
+        pooled: List[TaggedVector] = []
+        for address, items in sorted(self.peer_data.items()):
+            if not items:
+                continue
+            if address == cfg.server:
+                pooled.extend(items)
+                continue
+            message = Message(
+                src=address,
+                dst=cfg.server,
+                msg_type=MSG_DATA_UPLOAD,
+                payload=list(items),
+            )
+            delivered = self.scenario.network.send(message)
+            if delivered and self.scenario.network.is_up(cfg.server):
+                pooled.extend(items)
+            else:
+                self.scenario.stats.increment("central_upload_lost")
+        self._flush_network()
+        if not pooled:
+            raise ConfigurationError("no training data reached the server")
+
+        rng = np.random.default_rng(cfg.seed)
+        problems = binary_problems(pooled, self.tags, cfg.max_negative_ratio, rng)
+        for tag, (vectors, labels) in sorted(problems.items()):
+            svm = LinearSVM(
+                lambda_reg=cfg.lambda_reg, epochs=cfg.epochs, seed=cfg.seed
+            )
+            svm.fit(vectors, labels)
+            self._models[tag] = svm.model
+            decisions = [svm.decision(v) for v in vectors]
+            self._calibrators[tag] = PlattCalibrator().fit(decisions, labels)
+        self._trained = True
+
+    def predict_scores(self, origin: int, vector: SparseVector) -> Dict[str, float]:
+        self._require_trained()
+        cfg = self.config
+        if self.scenario.network.is_down(origin):
+            # Querying peer is offline; defer to its next session (no charge
+            # now — the round trip happens later either way).
+            self.scenario.stats.increment("central_query_deferred")
+        elif origin != cfg.server:
+            query = Message(
+                src=origin, dst=cfg.server, msg_type=MSG_QUERY, payload=vector
+            )
+            reachable = self.scenario.network.send(query) and (
+                self.scenario.network.is_up(cfg.server)
+            )
+            if not reachable:
+                # Server unreachable: the centralized system fails closed —
+                # the single point of failure the paper warns about.
+                self.scenario.stats.increment("central_query_lost")
+                return {tag: 0.0 for tag in self.tags}
+            response = Message(
+                src=cfg.server,
+                dst=origin,
+                msg_type=MSG_PREDICTION,
+                payload={t: 0.0 for t in self.tags},
+            )
+            self.scenario.network.send(response)
+        self._flush_network()
+        scores: Dict[str, float] = {}
+        for tag in self.tags:
+            model = self._models.get(tag)
+            if model is None:
+                scores[tag] = 0.0
+                continue
+            scores[tag] = self._calibrators[tag].probability(
+                model.decision(vector)
+            )
+        return scores

@@ -1,0 +1,58 @@
+"""Popularity baseline: assign the globally most popular tags to everything.
+
+Content-blind sanity floor.  Any learning system must beat it; on heavily
+skewed tag distributions it is surprisingly competitive on micro-averaged
+metrics, which is exactly why it belongs in the comparison.
+
+Communication: one tiny count vector per peer to an aggregator, then one
+broadcast back — negligible, charged anyway for honesty.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.ml.sparse import SparseVector
+from repro.p2pclass.base import P2PTagClassifier
+from repro.sim.messages import Message
+
+MSG_COUNTS = "popularity.counts"
+
+
+class PopularityTagger(P2PTagClassifier):
+    """Scores every document with normalized global tag frequencies."""
+
+    traffic_prefix = "popularity"
+
+    def train(self) -> None:
+        aggregator = min(self.scenario.peer_addresses)
+        counts: Counter = Counter()
+        for address, items in sorted(self.peer_data.items()):
+            local: Counter = Counter()
+            for item in items:
+                local.update(item.tags)
+            if address != aggregator:
+                message = Message(
+                    src=address,
+                    dst=aggregator,
+                    msg_type=MSG_COUNTS,
+                    payload={tag: count for tag, count in local.items()},
+                )
+                if not self.scenario.network.send(message):
+                    continue
+            counts.update(local)
+        self._flush_network()
+        total = sum(counts.values()) or 1
+        self._scores = {
+            tag: counts.get(tag, 0) / total for tag in self.tags
+        }
+        # Scale so the most popular tag scores 1.0 and would be assigned.
+        peak = max(self._scores.values(), default=0.0)
+        if peak > 0:
+            self._scores = {t: s / peak for t, s in self._scores.items()}
+        self._trained = True
+
+    def predict_scores(self, origin: int, vector: SparseVector) -> Dict[str, float]:
+        self._require_trained()
+        return dict(self._scores)

@@ -1,0 +1,98 @@
+"""Multi-label assignment policies: per-tag scores -> tag sets.
+
+The classifiers answer per-tag scores (the one-vs-all decomposition of paper
+§2); a policy decides which tags are *assigned*.  The GUI's confidence
+slider corresponds to :class:`FixedThreshold`; :class:`TopKPolicy` mirrors
+"assign the k best suggestions".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet
+
+from repro.errors import ConfigurationError
+
+
+class ThresholdPolicy(ABC):
+    """Turns a per-tag score map into an assigned tag set."""
+
+    @abstractmethod
+    def assign(self, scores: Dict[str, float]) -> FrozenSet[str]:
+        """Select the assigned tags."""
+
+
+class FixedThreshold(ThresholdPolicy):
+    """Assign every tag scoring at or above ``threshold``.
+
+    ``fallback_best`` keeps AutoTag from producing untagged files: when
+    nothing clears the bar, the single best tag is assigned.
+    """
+
+    def __init__(self, threshold: float = 0.5, fallback_best: bool = True) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self.fallback_best = fallback_best
+
+    def assign(self, scores: Dict[str, float]) -> FrozenSet[str]:
+        chosen = frozenset(t for t, s in scores.items() if s >= self.threshold)
+        if chosen or not self.fallback_best or not scores:
+            return chosen
+        best = max(scores.items(), key=lambda kv: kv[1])
+        return frozenset({best[0]})
+
+
+class TopKPolicy(ThresholdPolicy):
+    """Assign the ``k`` highest-scoring tags (above an optional floor)."""
+
+    def __init__(self, k: int = 3, floor: float = 0.0) -> None:
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if not 0.0 <= floor <= 1.0:
+            raise ConfigurationError("floor must be in [0, 1]")
+        self.k = k
+        self.floor = floor
+
+    def assign(self, scores: Dict[str, float]) -> FrozenSet[str]:
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return frozenset(
+            tag for tag, score in ranked[: self.k] if score >= self.floor
+        )
+
+
+class PerTagThreshold(ThresholdPolicy):
+    """Per-tag thresholds (typically tuned on validation data).
+
+    Built from :func:`repro.ml.evaluation.per_tag_thresholds`; tags without
+    a tuned value use ``default``.  ``fallback_best`` mirrors
+    :class:`FixedThreshold`'s never-empty behaviour.
+    """
+
+    def __init__(
+        self,
+        thresholds: Dict[str, float],
+        default: float = 0.5,
+        fallback_best: bool = True,
+    ) -> None:
+        for tag, value in thresholds.items():
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"threshold for {tag!r} out of [0, 1]: {value}"
+                )
+        if not 0.0 <= default <= 1.0:
+            raise ConfigurationError("default must be in [0, 1]")
+        self.thresholds = dict(thresholds)
+        self.default = default
+        self.fallback_best = fallback_best
+
+    def assign(self, scores: Dict[str, float]) -> FrozenSet[str]:
+        chosen = frozenset(
+            tag
+            for tag, score in scores.items()
+            if score >= self.thresholds.get(tag, self.default)
+        )
+        if chosen or not self.fallback_best or not scores:
+            return chosen
+        best = max(scores.items(), key=lambda kv: kv[1])
+        return frozenset({best[0]})

@@ -1,0 +1,24 @@
+"""Dataset substrate.
+
+The paper demonstrates on a Delicious crawl (Wetzker et al., 2008) that is
+not redistributable; :mod:`repro.data.delicious` generates a synthetic corpus
+with the same controlling statistics (power-law tag popularity, 50-200
+multi-tagged documents per user, tag-correlated user interests).
+"""
+
+from repro.data.corpus import Document, Corpus, UserProfile
+from repro.data.delicious import DeliciousGenerator, GeneratorConfig
+from repro.data.splits import train_test_split, per_user_split
+from repro.data.loaders import save_corpus, load_corpus
+
+__all__ = [
+    "Document",
+    "Corpus",
+    "UserProfile",
+    "DeliciousGenerator",
+    "GeneratorConfig",
+    "train_test_split",
+    "per_user_split",
+    "save_corpus",
+    "load_corpus",
+]

@@ -1,0 +1,62 @@
+"""Corpus persistence: JSONL save/load.
+
+One JSON object per line keeps corpora streamable and diff-friendly; the
+examples use this to cache generated corpora between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.data.corpus import Corpus, Document
+from repro.errors import DataError
+
+PathLike = Union[str, Path]
+
+
+def save_corpus(corpus: Corpus, path: PathLike) -> int:
+    """Write ``corpus`` as JSONL; returns the number of documents written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", encoding="utf-8") as handle:
+        for document in corpus:
+            record = {
+                "doc_id": document.doc_id,
+                "text": document.text,
+                "tags": sorted(document.tags),
+                "owner": document.owner,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_corpus(path: PathLike) -> Corpus:
+    """Read a corpus previously written by :func:`save_corpus`."""
+    source = Path(path)
+    if not source.exists():
+        raise DataError(f"corpus file not found: {source}")
+    documents = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                documents.append(
+                    Document(
+                        doc_id=int(record["doc_id"]),
+                        text=str(record["text"]),
+                        tags=frozenset(record["tags"]),
+                        owner=int(record["owner"]),
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise DataError(
+                    f"malformed corpus record at {source}:{line_number}: {exc}"
+                ) from exc
+    return Corpus(documents)

@@ -1,0 +1,253 @@
+"""Kernel (dual) SVM trained with a simplified SMO solver.
+
+CEMPaR requires a non-linear SVM whose *support vectors are first-class*:
+each peer's local model is its set of support vectors, which are shipped to a
+super-peer and cascaded (merged and retrained).  A dual solver is therefore
+the right substrate — the model *is* the SV set with coefficients.
+
+The solver is Platt's SMO in its simplified form (random second index,
+KKT-violation outer loop).  Local training sets in the P2P setting are small
+(tens of documents per binary task), so the O(n^2) Gram matrix is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotTrainedError
+from repro.ml.kernels import Kernel, gram_matrix, make_rbf
+from repro.ml.sparse import SparseVector
+
+
+@dataclass
+class SupportVector:
+    """One support vector: the document vector, its label, and its dual weight.
+
+    CEMPaR note: this is exactly what travels to super-peers — word-id/
+    frequency vectors, never raw text, which is the paper's privacy argument.
+    """
+
+    vector: SparseVector
+    label: int
+    alpha: float
+
+    def wire_size(self) -> int:
+        return self.vector.wire_size() + 4 + 8  # label + alpha
+
+
+@dataclass
+class KernelSVMModel:
+    """A trained dual model: support vectors + bias + kernel parameters."""
+
+    support_vectors: List[SupportVector]
+    bias: float
+    gamma: float
+    kernel_name: str = "rbf"
+    _kernel: Optional[Kernel] = field(default=None, repr=False, compare=False)
+
+    def kernel(self) -> Kernel:
+        if self._kernel is None:
+            if self.kernel_name == "rbf":
+                self._kernel = make_rbf(self.gamma)
+            else:
+                from repro.ml.kernels import kernel_by_name
+
+                self._kernel = kernel_by_name(self.kernel_name, gamma=self.gamma)
+        return self._kernel
+
+    def decision(self, x: SparseVector) -> float:
+        k = self.kernel()
+        return (
+            sum(sv.alpha * sv.label * k(sv.vector, x) for sv in self.support_vectors)
+            + self.bias
+        )
+
+    def predict(self, x: SparseVector) -> int:
+        return 1 if self.decision(x) >= 0.0 else -1
+
+    @property
+    def num_support_vectors(self) -> int:
+        return len(self.support_vectors)
+
+    def wire_size(self) -> int:
+        """Bytes to ship this model: all SVs + bias + gamma."""
+        return sum(sv.wire_size() for sv in self.support_vectors) + 16
+
+    def training_pairs(self) -> Tuple[List[SparseVector], List[int]]:
+        """SVs as a (vectors, labels) training set — the cascade's input."""
+        return (
+            [sv.vector for sv in self.support_vectors],
+            [sv.label for sv in self.support_vectors],
+        )
+
+
+class KernelSVM:
+    """Binary kernel SVM via simplified SMO.
+
+    Parameters
+    ----------
+    C:
+        Box constraint (soft-margin strength).
+    gamma:
+        RBF width (ignored for linear kernel).
+    kernel_name:
+        ``"rbf"`` (default), ``"linear"``, or ``"poly"``.
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        Consecutive no-progress sweeps before stopping.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        gamma: float = 0.5,
+        kernel_name: str = "rbf",
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        max_iterations: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        if C <= 0:
+            raise ConfigurationError("C must be positive")
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        self.C = C
+        self.gamma = gamma
+        self.kernel_name = kernel_name
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self._model: Optional[KernelSVMModel] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, vectors: Sequence[SparseVector], labels: Sequence[int]
+    ) -> "KernelSVM":
+        """Train on labels in {-1, +1}; one-class input yields a constant model."""
+        if len(vectors) != len(labels):
+            raise ConfigurationError("vectors and labels length mismatch")
+        if not vectors:
+            raise ConfigurationError("cannot fit on an empty training set")
+        unique = set(labels)
+        if not unique <= {-1, 1}:
+            raise ConfigurationError(f"labels must be in {{-1, +1}}, got {unique}")
+        if len(unique) == 1:
+            only = float(next(iter(unique)))
+            self._model = KernelSVMModel(
+                support_vectors=[], bias=only, gamma=self.gamma,
+                kernel_name=self.kernel_name,
+            )
+            return self
+
+        if self.kernel_name == "rbf":
+            kernel = make_rbf(self.gamma)
+        else:
+            from repro.ml.kernels import kernel_by_name
+
+            kernel = kernel_by_name(self.kernel_name, gamma=self.gamma)
+
+        n = len(vectors)
+        y = np.asarray(labels, dtype=np.float64)
+        K = gram_matrix(list(vectors), kernel)
+        alphas = np.zeros(n, dtype=np.float64)
+        bias = 0.0
+        rng = np.random.default_rng(self.seed)
+
+        passes = 0
+        iterations = 0
+        while passes < self.max_passes and iterations < self.max_iterations:
+            iterations += 1
+            changed = 0
+            for i in range(n):
+                error_i = float(np.dot(alphas * y, K[i]) + bias - y[i])
+                if (y[i] * error_i < -self.tol and alphas[i] < self.C) or (
+                    y[i] * error_i > self.tol and alphas[i] > 0
+                ):
+                    j = int(rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    error_j = float(np.dot(alphas * y, K[j]) + bias - y[j])
+                    alpha_i_old, alpha_j_old = alphas[i], alphas[j]
+                    if y[i] != y[j]:
+                        low = max(0.0, alphas[j] - alphas[i])
+                        high = min(self.C, self.C + alphas[j] - alphas[i])
+                    else:
+                        low = max(0.0, alphas[i] + alphas[j] - self.C)
+                        high = min(self.C, alphas[i] + alphas[j])
+                    if low >= high:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    alphas[j] -= y[j] * (error_i - error_j) / eta
+                    alphas[j] = min(high, max(low, alphas[j]))
+                    if abs(alphas[j] - alpha_j_old) < 1e-7:
+                        continue
+                    alphas[i] += y[i] * y[j] * (alpha_j_old - alphas[j])
+                    b1 = (
+                        bias
+                        - error_i
+                        - y[i] * (alphas[i] - alpha_i_old) * K[i, i]
+                        - y[j] * (alphas[j] - alpha_j_old) * K[i, j]
+                    )
+                    b2 = (
+                        bias
+                        - error_j
+                        - y[i] * (alphas[i] - alpha_i_old) * K[i, j]
+                        - y[j] * (alphas[j] - alpha_j_old) * K[j, j]
+                    )
+                    if 0 < alphas[i] < self.C:
+                        bias = b1
+                    elif 0 < alphas[j] < self.C:
+                        bias = b2
+                    else:
+                        bias = (b1 + b2) / 2.0
+                    changed += 1
+            if changed == 0:
+                passes += 1
+            else:
+                passes = 0
+
+        support = [
+            SupportVector(vector=vectors[i], label=int(y[i]), alpha=float(alphas[i]))
+            for i in range(n)
+            if alphas[i] > 1e-8
+        ]
+        self._model = KernelSVMModel(
+            support_vectors=support,
+            bias=float(bias),
+            gamma=self.gamma,
+            kernel_name=self.kernel_name,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> KernelSVMModel:
+        if self._model is None:
+            raise NotTrainedError("KernelSVM has not been fitted")
+        return self._model
+
+    def decision(self, x: SparseVector) -> float:
+        return self.model.decision(x)
+
+    def predict(self, x: SparseVector) -> int:
+        return self.model.predict(x)
+
+    def predict_many(self, xs: Sequence[SparseVector]) -> List[int]:
+        return [self.predict(x) for x in xs]
+
+    def accuracy(
+        self, vectors: Sequence[SparseVector], labels: Sequence[int]
+    ) -> float:
+        if not vectors:
+            return 1.0
+        correct = sum(1 for x, y in zip(vectors, labels) if self.predict(x) == y)
+        return correct / len(vectors)

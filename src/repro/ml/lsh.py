@@ -1,0 +1,157 @@
+"""Random-hyperplane locality-sensitive hashing.
+
+PACE receivers "index the models using the centroids (based on locality
+sensitive hashing)"; a query retrieves the top-k nearest models by probing
+the query's bucket and its neighbours.  Random-hyperplane (SimHash) LSH
+approximates cosine similarity, which is the natural metric for L2-normalized
+text vectors.
+
+Hyperplanes are generated from a seed shared by all peers, so every peer
+hashes centroids identically without coordination — the same trick as the
+hashed feature space.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.sparse import SparseVector
+
+T = TypeVar("T", bound=Hashable)
+
+
+class RandomHyperplaneLSH(Generic[T]):
+    """An LSH index mapping sparse vectors to payload objects.
+
+    Parameters
+    ----------
+    num_bits:
+        Signature length; buckets are ``2^num_bits`` at most.
+    seed:
+        Shared hyperplane seed (identical across peers).
+    dimension_hint:
+        Hyperplane components are generated lazily per feature id from a
+        per-id deterministic hash, so truly high-dimensional hashed spaces
+        cost memory proportional only to *observed* features.
+    """
+
+    def __init__(self, num_bits: int = 8, seed: int = 0) -> None:
+        if not 1 <= num_bits <= 64:
+            raise ConfigurationError("num_bits must be in [1, 64]")
+        self.num_bits = num_bits
+        self.seed = seed
+        self._component_cache: Dict[int, np.ndarray] = {}
+        self._buckets: Dict[int, List[Tuple[SparseVector, T]]] = defaultdict(list)
+        self._size = 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def _components(self, feature_id: int) -> np.ndarray:
+        """Deterministic Gaussian hyperplane components for one feature id."""
+        cached = self._component_cache.get(feature_id)
+        if cached is None:
+            rng = np.random.default_rng((self.seed << 32) ^ feature_id)
+            cached = rng.standard_normal(self.num_bits)
+            self._component_cache[feature_id] = cached
+        return cached
+
+    def signature(self, vector: SparseVector) -> int:
+        """SimHash signature of ``vector`` as an integer bucket key."""
+        projection = np.zeros(self.num_bits, dtype=np.float64)
+        for feature_id, value in vector.items():
+            projection += value * self._components(feature_id)
+        bits = 0
+        for bit_index in range(self.num_bits):
+            if projection[bit_index] >= 0:
+                bits |= 1 << bit_index
+        return bits
+
+    # -- index operations ------------------------------------------------------
+
+    def insert(self, vector: SparseVector, payload: T) -> int:
+        """Index ``payload`` under ``vector``'s bucket; returns the bucket key."""
+        key = self.signature(vector)
+        self._buckets[key].append((vector, payload))
+        self._size += 1
+        return key
+
+    def remove(self, payload: T) -> bool:
+        """Remove every entry carrying ``payload``; True if any was removed."""
+        removed = False
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            kept = [(v, p) for v, p in bucket if p != payload]
+            if len(kept) != len(bucket):
+                removed = True
+                self._size -= len(bucket) - len(kept)
+                if kept:
+                    self._buckets[key] = kept
+                else:
+                    del self._buckets[key]
+        return removed
+
+    def __len__(self) -> int:
+        return self._size
+
+    def query(
+        self,
+        vector: SparseVector,
+        top_k: int,
+        max_probe_distance: Optional[int] = None,
+    ) -> List[Tuple[float, T]]:
+        """Top-k nearest payloads by Euclidean distance to the stored vector.
+
+        Probes buckets in order of Hamming distance from the query signature
+        (multi-probe LSH) until at least ``top_k`` candidates are gathered or
+        ``max_probe_distance`` is exhausted, then ranks candidates exactly.
+        Returns ``(distance, payload)`` pairs sorted ascending.
+        """
+        if top_k <= 0:
+            raise ConfigurationError("top_k must be positive")
+        if self._size == 0:
+            return []
+        max_probe = (
+            self.num_bits if max_probe_distance is None else max_probe_distance
+        )
+        query_key = self.signature(vector)
+        candidates: List[Tuple[SparseVector, T]] = []
+        for distance in range(0, max_probe + 1):
+            for key in self._keys_at_hamming_distance(query_key, distance):
+                candidates.extend(self._buckets.get(key, ()))
+            if len(candidates) >= top_k:
+                break
+        scored = [
+            (vector.distance(stored), payload) for stored, payload in candidates
+        ]
+        scored.sort(key=lambda pair: pair[0])
+        return scored[:top_k]
+
+    def _keys_at_hamming_distance(self, key: int, distance: int) -> Iterable[int]:
+        """Occupied bucket keys exactly ``distance`` bit-flips from ``key``.
+
+        For distance <= 2 we enumerate flips; beyond that we scan occupied
+        buckets (cheaper than the combinatorial blow-up).
+        """
+        if distance == 0:
+            yield key
+            return
+        if distance == 1:
+            for bit in range(self.num_bits):
+                yield key ^ (1 << bit)
+            return
+        if distance == 2:
+            for first in range(self.num_bits):
+                for second in range(first + 1, self.num_bits):
+                    yield key ^ (1 << first) ^ (1 << second)
+            return
+        for occupied in self._buckets:
+            if bin(occupied ^ key).count("1") == distance:
+                yield occupied
+
+    def bucket_sizes(self) -> Dict[int, int]:
+        """Occupied bucket -> entry count (diagnostics / tests)."""
+        return {key: len(bucket) for key, bucket in self._buckets.items()}

@@ -1,0 +1,185 @@
+"""Sparse feature vectors.
+
+Documents are represented exactly as the paper describes: "the attribute id
+represents the word id and the value of the attributes represents the word
+frequency in the documents".  Vocabularies are large and documents short, so
+a dictionary-backed sparse vector is the natural representation.
+
+:class:`SparseVector` is immutable-by-convention (builders return new
+instances) which makes it safe to place inside simulated network messages
+without defensive copying.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+import numpy as np
+
+
+class SparseVector:
+    """A sparse vector of ``feature id -> float`` entries.
+
+    Zero-valued entries are never stored.  Supports the vector algebra the
+    SVM/k-means/LSH implementations need: dot products, scaled addition,
+    norms, cosine distance, and densification against a fixed dimension.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[int, float] | Iterable[Tuple[int, float]] = ()) -> None:
+        items = data.items() if isinstance(data, Mapping) else data
+        cleaned: Dict[int, float] = {}
+        for key, value in items:
+            if value:
+                cleaned[int(key)] = float(value)
+        self._data = cleaned
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[int, int]) -> "SparseVector":
+        """Build from a term-frequency dictionary."""
+        return cls({k: float(v) for k, v in counts.items()})
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseVector":
+        """Build from a dense numpy array, keeping nonzeros only."""
+        (indices,) = np.nonzero(dense)
+        return cls({int(i): float(dense[i]) for i in indices})
+
+    # -- mapping protocol -----------------------------------------------
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        return self._data.get(key, default)
+
+    def __getitem__(self, key: int) -> float:
+        return self._data.get(key, 0.0)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        return self._data.items()
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def __len__(self) -> int:
+        """Number of nonzero entries (``nnz``)."""
+        return len(self._data)
+
+    @property
+    def nnz(self) -> int:
+        return len(self._data)
+
+    def max_index(self) -> int:
+        """Largest feature id present, or -1 for the zero vector."""
+        return max(self._data, default=-1)
+
+    # -- algebra ---------------------------------------------------------
+
+    def dot(self, other: "SparseVector") -> float:
+        """Sparse-sparse dot product (iterates the smaller operand)."""
+        a, b = self._data, other._data
+        if len(a) > len(b):
+            a, b = b, a
+        return sum(value * b[key] for key, value in a.items() if key in b)
+
+    def dot_dense(self, dense: np.ndarray) -> float:
+        """Dot product against a dense weight array (out-of-range ids are 0)."""
+        n = dense.shape[0]
+        return float(sum(value * dense[key] for key, value in self._data.items() if key < n))
+
+    def add(self, other: "SparseVector", scale: float = 1.0) -> "SparseVector":
+        """Return ``self + scale * other`` as a new vector."""
+        result = dict(self._data)
+        for key, value in other._data.items():
+            updated = result.get(key, 0.0) + scale * value
+            if updated:
+                result[key] = updated
+            else:
+                result.pop(key, None)
+        return SparseVector(result)
+
+    def scale(self, factor: float) -> "SparseVector":
+        """Return ``factor * self`` as a new vector."""
+        if factor == 0.0:
+            return SparseVector()
+        return SparseVector({k: v * factor for k, v in self._data.items()})
+
+    def squared_norm(self) -> float:
+        return sum(v * v for v in self._data.values())
+
+    def norm(self) -> float:
+        return math.sqrt(self.squared_norm())
+
+    def normalized(self) -> "SparseVector":
+        """Return the L2-normalized vector (zero vector stays zero)."""
+        n = self.norm()
+        if n == 0.0:
+            return SparseVector()
+        return self.scale(1.0 / n)
+
+    def distance_squared(self, other: "SparseVector") -> float:
+        """Squared Euclidean distance."""
+        return (
+            self.squared_norm()
+            - 2.0 * self.dot(other)
+            + other.squared_norm()
+        )
+
+    def distance(self, other: "SparseVector") -> float:
+        return math.sqrt(max(0.0, self.distance_squared(other)))
+
+    def cosine_similarity(self, other: "SparseVector") -> float:
+        denom = self.norm() * other.norm()
+        if denom == 0.0:
+            return 0.0
+        return self.dot(other) / denom
+
+    # -- conversion -------------------------------------------------------
+
+    def to_dense(self, dimension: int) -> np.ndarray:
+        """Densify into a float64 array of length ``dimension``.
+
+        Feature ids at or beyond ``dimension`` are dropped (unseen test-time
+        vocabulary, mirroring how a fixed-lexicon model ignores new words).
+        """
+        dense = np.zeros(dimension, dtype=np.float64)
+        for key, value in self._data.items():
+            if key < dimension:
+                dense[key] = value
+        return dense
+
+    def to_dict(self) -> Dict[int, float]:
+        """Copy of the underlying mapping (for serialization)."""
+        return dict(self._data)
+
+    # -- wire size ---------------------------------------------------------
+
+    def wire_size(self) -> int:
+        """Estimated serialized size in bytes: 4 B id + 8 B value per entry."""
+        return 12 * len(self._data)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._data.items()))
+
+    def __repr__(self) -> str:
+        preview = dict(sorted(self._data.items())[:4])
+        suffix = "..." if len(self._data) > 4 else ""
+        return f"SparseVector({preview}{suffix}, nnz={len(self._data)})"

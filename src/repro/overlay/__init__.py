@@ -1,0 +1,41 @@
+"""P2P overlay networks (P2PDMT "Generate structured/unstructured P2P network").
+
+Structured overlays (:mod:`repro.overlay.chord`, :mod:`repro.overlay.kademlia`)
+provide DHT lookups — CEMPaR locates its super-peers deterministically through
+them.  The unstructured overlay (:mod:`repro.overlay.unstructured`) provides
+flooding/gossip broadcast — PACE propagates models over it.
+"""
+
+from repro.overlay.idspace import (
+    ID_BITS,
+    ID_SPACE,
+    node_id_for,
+    key_id_for,
+    ring_distance,
+    xor_distance,
+    in_interval,
+)
+from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.overlay.unstructured import UnstructuredOverlay, BroadcastResult
+from repro.overlay.superpeer import SuperPeerDirectory
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "node_id_for",
+    "key_id_for",
+    "ring_distance",
+    "xor_distance",
+    "in_interval",
+    "Overlay",
+    "RouteResult",
+    "ChordOverlay",
+    "KademliaOverlay",
+    "PastryOverlay",
+    "UnstructuredOverlay",
+    "BroadcastResult",
+    "SuperPeerDirectory",
+]

@@ -1,0 +1,69 @@
+"""Overlay interface.
+
+Overlays maintain routing state over the set of *live* physical nodes and
+answer two questions:
+
+- :meth:`Overlay.route` — which node owns a key, and through which hop path
+  (the hop path is what the experiments charge communication for);
+- :meth:`Overlay.neighbors` — a node's links (broadcast, visualization).
+
+Implementation note (documented substitution): routing decisions are
+computed synchronously from current routing tables instead of exchanging
+per-hop control messages through the event queue.  The *observables* —
+hop counts, per-hop bytes, failures under churn — are preserved, because
+every returned path is charged hop-by-hop to the physical network's stats
+by the callers, and routing tables are damaged/repaired by churn callbacks
+exactly as a maintenance protocol would.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import OverlayError
+
+
+@dataclass
+class RouteResult:
+    """Outcome of a key lookup."""
+
+    key: int
+    owner: Optional[int]  # physical address of the responsible node
+    path: List[int] = field(default_factory=list)  # physical addresses, in order
+    success: bool = True
+
+    @property
+    def hops(self) -> int:
+        return len(self.path)
+
+
+class Overlay(ABC):
+    """Common interface for structured and unstructured overlays."""
+
+    name: str = "overlay"
+
+    @abstractmethod
+    def join(self, address: int) -> None:
+        """Add a physical node to the overlay."""
+
+    @abstractmethod
+    def leave(self, address: int) -> None:
+        """Remove a node (graceful or crash — callers decide semantics)."""
+
+    @abstractmethod
+    def route(self, origin: int, key: int) -> RouteResult:
+        """Resolve ``key`` starting from ``origin``; returns owner and path."""
+
+    @abstractmethod
+    def neighbors(self, address: int) -> List[int]:
+        """The node's overlay links (for broadcast and visualization)."""
+
+    @abstractmethod
+    def members(self) -> List[int]:
+        """Current member addresses."""
+
+    def require_member(self, address: int) -> None:
+        if address not in self.members():
+            raise OverlayError(f"node {address} is not an overlay member")

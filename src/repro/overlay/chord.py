@@ -1,0 +1,206 @@
+"""Chord DHT overlay (Stoica et al., 2001).
+
+Finger tables give O(log N) routing; successor lists give fault tolerance.
+Churn realism: a crash updates ring *membership* immediately (ground truth of
+who owns what), but other nodes' finger tables and successor lists stay stale
+until :meth:`stabilize` runs — so lookups between a crash and the next
+stabilization round take more hops or fail, exactly the behaviour the churn
+experiment measures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.errors import OverlayError
+from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.idspace import ID_BITS, ID_SPACE, in_interval, node_id_for
+
+
+class ChordOverlay(Overlay):
+    """A Chord ring over physical node addresses.
+
+    Parameters
+    ----------
+    successor_list_size:
+        Number of successors each node tracks (fault tolerance under churn).
+    max_hops:
+        Routing loop guard.
+    """
+
+    name = "chord"
+
+    def __init__(self, successor_list_size: int = 4, max_hops: int = 128) -> None:
+        self.successor_list_size = successor_list_size
+        self.max_hops = max_hops
+        self._ids: Dict[int, int] = {}  # address -> overlay id
+        self._ring_ids: List[int] = []  # sorted overlay ids of live members
+        self._ring_addresses: List[int] = []  # parallel to _ring_ids
+        self._fingers: Dict[int, List[int]] = {}  # address -> finger addresses
+        self._successors: Dict[int, List[int]] = {}  # address -> successor addrs
+        self._predecessors: Dict[int, int] = {}  # address -> predecessor addr
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def join(self, address: int) -> None:
+        if address in self._ids:
+            return
+        overlay_id = node_id_for(address)
+        if overlay_id in self._ids.values():  # pragma: no cover - 64-bit space
+            raise OverlayError(f"id collision for address {address}")
+        self._ids[address] = overlay_id
+        index = bisect.bisect_left(self._ring_ids, overlay_id)
+        self._ring_ids.insert(index, overlay_id)
+        self._ring_addresses.insert(index, address)
+        # The joining node builds its own tables immediately (it performed a
+        # lookup-driven join); existing nodes stay stale until stabilize().
+        self._rebuild_tables_for(address)
+
+    def leave(self, address: int) -> None:
+        """Crash-style departure: membership changes, others' tables stale."""
+        overlay_id = self._ids.pop(address, None)
+        if overlay_id is None:
+            return
+        index = bisect.bisect_left(self._ring_ids, overlay_id)
+        del self._ring_ids[index]
+        del self._ring_addresses[index]
+        self._fingers.pop(address, None)
+        self._successors.pop(address, None)
+        self._predecessors.pop(address, None)
+
+    def members(self) -> List[int]:
+        return list(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    # Table maintenance
+    # ------------------------------------------------------------------
+
+    def _true_successor_address(self, key: int) -> int:
+        """Ground-truth owner: first live node clockwise from ``key``."""
+        if not self._ring_ids:
+            raise OverlayError("empty ring")
+        index = bisect.bisect_left(self._ring_ids, key)
+        if index == len(self._ring_ids):
+            index = 0
+        return self._ring_addresses[index]
+
+    def _rebuild_tables_for(self, address: int) -> None:
+        overlay_id = self._ids[address]
+        fingers: List[int] = []
+        for i in range(ID_BITS):
+            target = (overlay_id + (1 << i)) % ID_SPACE
+            finger = self._true_successor_address(target)
+            if finger != address and (not fingers or fingers[-1] != finger):
+                fingers.append(finger)
+        self._fingers[address] = fingers
+        successors: List[int] = []
+        cursor = (overlay_id + 1) % ID_SPACE
+        while len(successors) < min(self.successor_list_size, len(self._ids) - 1):
+            nxt = self._true_successor_address(cursor)
+            if nxt == address:
+                break
+            if nxt in successors:
+                break
+            successors.append(nxt)
+            cursor = (self._ids[nxt] + 1) % ID_SPACE
+        self._successors[address] = successors
+        if len(self._ids) > 1:
+            index = bisect.bisect_left(self._ring_ids, overlay_id)
+            self._predecessors[address] = self._ring_addresses[index - 1]
+        else:
+            self._predecessors[address] = address
+
+    def stabilize(self) -> None:
+        """Repair every member's fingers and successor lists."""
+        for address in list(self._ids):
+            self._rebuild_tables_for(address)
+
+    def staleness(self) -> float:
+        """Fraction of routing-table entries pointing at dead nodes."""
+        total = dead = 0
+        for address in self._ids:
+            for entry in self._fingers.get(address, []) + self._successors.get(
+                address, []
+            ):
+                total += 1
+                if entry not in self._ids:
+                    dead += 1
+        return dead / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def neighbors(self, address: int) -> List[int]:
+        self.require_member(address)
+        seen: List[int] = []
+        for entry in self._successors.get(address, []) + self._fingers.get(
+            address, []
+        ):
+            if entry in self._ids and entry not in seen:
+                seen.append(entry)
+        return seen
+
+    def _live_successor(self, address: int) -> Optional[int]:
+        for candidate in self._successors.get(address, []):
+            if candidate in self._ids:
+                return candidate
+        return None
+
+    def route(self, origin: int, key: int) -> RouteResult:
+        self.require_member(origin)
+        key = key % ID_SPACE
+        true_owner = self._true_successor_address(key)
+        current = origin
+        path: List[int] = []
+        for _ in range(self.max_hops):
+            current_id = self._ids[current]
+            if current_id == key or len(self._ids) == 1:
+                return RouteResult(key=key, owner=current, path=path)
+            predecessor = self._predecessors.get(current)
+            if (
+                predecessor is not None
+                and predecessor in self._ids
+                and in_interval(key, self._ids[predecessor], current_id)
+            ):
+                return RouteResult(key=key, owner=current, path=path)
+            successor = self._live_successor(current)
+            if successor is None:
+                # Fresh node or totally stale successor list.
+                if current == true_owner:
+                    return RouteResult(key=key, owner=current, path=path)
+                return RouteResult(key=key, owner=None, path=path, success=False)
+            if in_interval(key, current_id, self._ids[successor]):
+                path.append(successor)
+                return RouteResult(key=key, owner=successor, path=path)
+            next_hop = self._closest_preceding(current, key) or successor
+            if next_hop == current:
+                next_hop = successor
+            path.append(next_hop)
+            current = next_hop
+        return RouteResult(key=key, owner=None, path=path, success=False)
+
+    def _closest_preceding(self, address: int, key: int) -> Optional[int]:
+        """Live finger/successor with id closest preceding ``key``."""
+        current_id = self._ids[address]
+        best: Optional[int] = None
+        best_id = current_id
+        for entry in self._fingers.get(address, []) + self._successors.get(
+            address, []
+        ):
+            entry_id = self._ids.get(entry)
+            if entry_id is None:
+                continue  # stale entry: dead node
+            if in_interval(entry_id, current_id, key, inclusive_right=False):
+                if best is None or in_interval(
+                    entry_id, best_id, key, inclusive_right=False
+                ):
+                    best = entry
+                    best_id = entry_id
+        return best

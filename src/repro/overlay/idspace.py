@@ -1,0 +1,52 @@
+"""Identifier space shared by the structured overlays.
+
+A 64-bit circular id space.  Node ids and key ids are blake2b hashes, so any
+peer can compute the id of any key (tag names, super-peer labels) locally —
+the property CEMPaR's deterministic super-peer location relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+ID_BITS = 64
+ID_SPACE = 1 << ID_BITS
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+def node_id_for(address: int) -> int:
+    """Overlay id of a physical node address."""
+    return _hash64(f"node:{address}".encode("utf-8"))
+
+
+def key_id_for(key: str) -> int:
+    """Overlay id of an application key (e.g. a tag or super-peer label)."""
+    return _hash64(f"key:{key}".encode("utf-8"))
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ring."""
+    return (b - a) % ID_SPACE
+
+
+def xor_distance(a: int, b: int) -> int:
+    """Kademlia's XOR metric."""
+    return a ^ b
+
+
+def in_interval(x: int, left: int, right: int, inclusive_right: bool = True) -> bool:
+    """True if ``x`` lies in the circular interval (left, right] (or (left, right))."""
+    if left == right:
+        # Full circle (single-node ring): everything is inside.
+        return True
+    if left < right:
+        return (left < x <= right) if inclusive_right else (left < x < right)
+    # Wrapping interval.
+    if inclusive_right:
+        return x > left or x <= right
+    return x > left or x < right

@@ -1,0 +1,66 @@
+"""Deterministic super-peer election over a DHT (CEMPaR's regions).
+
+The paper: "super-peers are automatically elected from the P2P network and
+are located in a deterministic manner, made possible through the use of the
+DHT-based P2P network."
+
+Concretely: the id space is split into ``num_regions`` regions; the
+super-peer for (tag, region) is the DHT owner of ``key_id_for("sp|tag|r")``.
+Any peer can compute that key locally and route to it — no coordination, and
+after churn the DHT's new owner of the key *is* the new super-peer, which is
+how responsibility migrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OverlayError
+from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.idspace import key_id_for
+
+
+class SuperPeerDirectory:
+    """Resolves (tag, region) -> super-peer through an overlay."""
+
+    def __init__(self, overlay: Overlay, num_regions: int = 2) -> None:
+        if num_regions < 1:
+            raise OverlayError("num_regions must be >= 1")
+        self.overlay = overlay
+        self.num_regions = num_regions
+
+    @staticmethod
+    def label(tag: str, region: int) -> str:
+        """The well-known DHT key label for a (tag, region) super-peer."""
+        return f"sp|{tag}|{region}"
+
+    def key_for(self, tag: str, region: int) -> int:
+        return key_id_for(self.label(tag, region))
+
+    def region_of(self, address: int) -> int:
+        """The region a peer reports into (deterministic, balanced)."""
+        return key_id_for(f"region|{address}") % self.num_regions
+
+    def locate(self, origin: int, tag: str, region: int) -> RouteResult:
+        """Route from ``origin`` to the super-peer for (tag, region)."""
+        return self.overlay.route(origin, self.key_for(tag, region))
+
+    def locate_all(
+        self, origin: int, tag: str
+    ) -> List[Tuple[int, RouteResult]]:
+        """Routes to every regional super-peer for ``tag``.
+
+        Returns (region, route) pairs; failed routes are included so callers
+        can count lookup failures under churn.
+        """
+        return [
+            (region, self.locate(origin, tag, region))
+            for region in range(self.num_regions)
+        ]
+
+    def owners(self, origin: int, tag: str) -> Dict[int, Optional[int]]:
+        """region -> super-peer address (None where lookup failed)."""
+        return {
+            region: route.owner if route.success else None
+            for region, route in self.locate_all(origin, tag)
+        }

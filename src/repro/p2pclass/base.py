@@ -1,0 +1,220 @@
+"""Shared machinery for P2P tag classifiers.
+
+The paper reduces multi-label tagging to one-vs-all binary problems: "for
+each c in Y, we learn a function f_c : X -> Y_c, where the output indicates
+whether or not the tag is assigned".  :func:`binary_problems` performs that
+decomposition on a peer's local data; :class:`P2PTagClassifier` is the
+pluggable interface P2PDocTagger trains and queries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.errors import ConfigurationError, NotTrainedError
+from repro.ml.sparse import SparseVector
+from repro.sim.node import SimNode
+from repro.sim.scenario import Scenario
+from repro.text.vectorizer import PreprocessingPipeline
+
+
+@dataclass(frozen=True)
+class TaggedVector:
+    """A preprocessed document: sparse vector + its tag set."""
+
+    vector: SparseVector
+    tags: FrozenSet[str]
+
+    def wire_size(self) -> int:
+        return self.vector.wire_size() + sum(len(t) for t in self.tags) + 2
+
+
+PeerData = Dict[int, List[TaggedVector]]
+
+
+def corpus_to_peer_data(
+    corpus: Corpus, pipeline: Optional[PreprocessingPipeline] = None
+) -> PeerData:
+    """Vectorize a corpus into per-peer training data.
+
+    Every peer runs the same deterministic pipeline locally (hashed feature
+    ids need no coordination), mirroring the paper's preprocessing stage.
+    """
+    pipeline = pipeline or PreprocessingPipeline()
+    peer_data: PeerData = {}
+    for owner in corpus.owners:
+        items = [
+            TaggedVector(vector=pipeline.process(d.text), tags=d.tags)
+            for d in corpus.documents_of(owner)
+        ]
+        peer_data[owner] = items
+    return peer_data
+
+
+def binary_problems(
+    items: Sequence[TaggedVector],
+    tags: Iterable[str],
+    max_negative_ratio: float = 3.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, Tuple[List[SparseVector], List[int]]]:
+    """One-vs-all decomposition of a local dataset.
+
+    For each tag with at least one local positive, returns (vectors, ±1
+    labels) where positives are documents carrying the tag and negatives are
+    sampled from the rest (capped at ``max_negative_ratio`` x positives to
+    keep the per-tag problems balanced, as one-against-all SVM practice
+    dictates).  Tags without local positives are skipped — that peer simply
+    contributes nothing for them.
+    """
+    if max_negative_ratio <= 0:
+        raise ConfigurationError("max_negative_ratio must be positive")
+    rng = rng or np.random.default_rng(0)
+    problems: Dict[str, Tuple[List[SparseVector], List[int]]] = {}
+    for tag in tags:
+        positives = [item.vector for item in items if tag in item.tags]
+        if not positives:
+            continue
+        negatives = [item.vector for item in items if tag not in item.tags]
+        cap = int(round(max_negative_ratio * len(positives)))
+        if cap and len(negatives) > cap:
+            chosen = rng.choice(len(negatives), size=cap, replace=False)
+            negatives = [negatives[int(i)] for i in chosen]
+        vectors = positives + negatives
+        labels = [1] * len(positives) + [-1] * len(negatives)
+        problems[tag] = (vectors, labels)
+    return problems
+
+
+def collect_tag_universe(peer_data: PeerData) -> List[str]:
+    """All tags observed across peers, sorted for determinism."""
+    tags = set()
+    for items in peer_data.values():
+        for item in items:
+            tags |= item.tags
+    return sorted(tags)
+
+
+class P2PTagClassifier(ABC):
+    """Interface of the pluggable P2P classification component.
+
+    Subclasses train over a :class:`~repro.sim.scenario.Scenario` (which
+    supplies the overlay, physical network and stats sink) and per-peer local
+    data, then answer per-tag scores for untagged document vectors.
+    """
+
+    #: message-type prefix used in traffic accounting
+    traffic_prefix: str = "p2p"
+
+    #: True when the classifier can fold new examples in without a full
+    #: retrain (see :meth:`incremental_update`)
+    supports_incremental: bool = False
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        peer_data: PeerData,
+        tags: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not peer_data:
+            raise ConfigurationError("peer_data must not be empty")
+        unknown = set(peer_data) - set(scenario.peer_addresses)
+        if unknown:
+            raise ConfigurationError(
+                f"peer_data contains addresses outside the scenario: {unknown}"
+            )
+        self.scenario = scenario
+        self.peer_data = peer_data
+        self.tags: List[str] = (
+            sorted(tags) if tags is not None else collect_tag_universe(peer_data)
+        )
+        if not self.tags:
+            raise ConfigurationError("no tags to learn")
+        self._trained = False
+        # Register every peer on the physical network so traffic flows.
+        self.nodes: Dict[int, SimNode] = {
+            address: SimNode(address, scenario.network)
+            for address in scenario.peer_addresses
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    @abstractmethod
+    def train(self) -> None:
+        """Build the global model(s) collaboratively; sets ``trained``."""
+
+    @property
+    def trained(self) -> bool:
+        return self._trained
+
+    def incremental_update(
+        self, owner: int, items: Sequence[TaggedVector]
+    ) -> None:
+        """Fold new labeled examples from ``owner`` into the global model.
+
+        Only meaningful when :attr:`supports_incremental` is True; the base
+        implementation refuses so callers fall back to a full retrain.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental updates"
+        )
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise NotTrainedError(f"{type(self).__name__} is not trained")
+
+    # -- prediction ---------------------------------------------------------
+
+    @abstractmethod
+    def predict_scores(self, origin: int, vector: SparseVector) -> Dict[str, float]:
+        """Per-tag assignment scores in [0, 1], queried from peer ``origin``."""
+
+    def predict_tags(
+        self, origin: int, vector: SparseVector, threshold: float = 0.5
+    ) -> FrozenSet[str]:
+        """Tags whose score clears ``threshold`` (the auto-tag operation)."""
+        self._require_trained()
+        scores = self.predict_scores(origin, vector)
+        chosen = frozenset(t for t, s in scores.items() if s >= threshold)
+        if chosen:
+            return chosen
+        # Never emit an empty tagging: fall back to the single best tag,
+        # matching AutoTag's behaviour of always assigning something.
+        if scores:
+            best = max(scores.items(), key=lambda kv: kv[1])
+            return frozenset({best[0]})
+        return frozenset()
+
+    def rank_tags(
+        self, origin: int, vector: SparseVector
+    ) -> List[Tuple[str, float]]:
+        """Tags sorted by descending score (the Suggest-Tag operation)."""
+        self._require_trained()
+        scores = self.predict_scores(origin, vector)
+        return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _advance(self, seconds: float) -> None:
+        """Advance virtual time (peers act at staggered moments, so churn can
+        interleave with the training protocol)."""
+        if seconds > 0:
+            simulator = self.scenario.simulator
+            simulator.run(until=simulator.now + seconds)
+
+    def _flush_network(self, settle_time: float = 5.0) -> None:
+        """Let queued deliveries complete (advances virtual time).
+
+        With churn active the event queue never drains (leave/rejoin events
+        reschedule forever), so we advance a bounded settle window instead —
+        long enough for any in-flight message at the configured latency.
+        """
+        simulator = self.scenario.simulator
+        if self.scenario.churn_model.churns:
+            simulator.run(until=simulator.now + settle_time)
+        else:
+            simulator.run_until_idle()

@@ -1,0 +1,264 @@
+"""CEMPaR: communication-efficient P2P classification via cascade SVM + DHT.
+
+Training protocol (paper §2, "P2P classification"):
+
+1. every peer trains a non-linear SVM per tag on its local tagged documents;
+2. each peer's support vectors are propagated **once** to the super-peer for
+   (tag, its region) — located deterministically through the DHT;
+3. super-peers cascade the collected local models into regional models;
+4. untagged document vectors are sent to the regional super-peers, whose
+   predictions are combined by weighted majority voting.
+
+Communication accounting: every upload and query travels the DHT route, so
+its bytes are charged once per hop; lookups that fail under churn lose the
+contribution — exactly the degradation experiment E4 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.kernel_svm import KernelSVM, KernelSVMModel
+from repro.ml.sparse import SparseVector
+from repro.overlay.superpeer import SuperPeerDirectory
+from repro.p2pclass.base import P2PTagClassifier, PeerData, binary_problems
+from repro.p2pclass.cascade import CascadeModel, cascade_merge
+from repro.p2pclass.voting import weighted_score
+from repro.sim.messages import Message
+from repro.sim.scenario import Scenario
+
+MSG_MODEL_UPLOAD = "cempar.model_upload"
+MSG_QUERY = "cempar.query"
+MSG_PREDICTION = "cempar.prediction"
+
+
+@dataclass
+class CemparConfig:
+    """CEMPaR hyperparameters."""
+
+    num_regions: int = 2
+    C: float = 1.0
+    gamma: float = 0.5
+    kernel_name: str = "rbf"
+    max_negative_ratio: float = 3.0
+    max_cascade_training_size: int = 400
+    upload_window: float = 60.0  # peers upload at staggered virtual times
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_regions < 1:
+            raise ConfigurationError("num_regions must be >= 1")
+        if self.C <= 0 or self.gamma <= 0:
+            raise ConfigurationError("C and gamma must be positive")
+
+
+class CemparClassifier(P2PTagClassifier):
+    """CEMPaR over the scenario's DHT overlay."""
+
+    traffic_prefix = "cempar"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        peer_data: PeerData,
+        tags=None,
+        config: Optional[CemparConfig] = None,
+    ) -> None:
+        super().__init__(scenario, peer_data, tags)
+        self.config = config or CemparConfig()
+        self.config.validate()
+        self.directory = SuperPeerDirectory(
+            scenario.overlay, num_regions=self.config.num_regions
+        )
+        # (tag, region) -> accumulated child models at the super-peer.
+        self._inbox: Dict[Tuple[str, int], List[KernelSVMModel]] = {}
+        # (tag, region) -> cascaded regional model, held by its super-peer.
+        self.regional_models: Dict[Tuple[str, int], CascadeModel] = {}
+        # (tag, region) -> super-peer address that built the model.
+        self._model_holder: Dict[Tuple[str, int], int] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train(self) -> None:
+        # Retraining (e.g. after refinements) rebuilds the cascades from a
+        # fresh upload round rather than stacking onto stale inboxes.
+        self._inbox.clear()
+        self.regional_models.clear()
+        self._model_holder.clear()
+        self._upload_local_models()
+        self._flush_network()
+        self._cascade_regions()
+        self._trained = True
+
+    def _upload_local_models(self) -> None:
+        cfg = self.config
+        num_peers = max(1, len(self.peer_data))
+        for address, items in sorted(self.peer_data.items()):
+            if not items:
+                continue
+            # Peers act at staggered times, so churn interleaves with uploads.
+            self._advance(
+                float(self._rng.exponential(cfg.upload_window / num_peers))
+            )
+            if address not in self.scenario.overlay.members():
+                # Churned out at its upload slot: this contribution misses
+                # the initial cascade round.
+                self.scenario.stats.increment("cempar_upload_skipped")
+                continue
+            region = self.directory.region_of(address)
+            problems = binary_problems(
+                items, self.tags, cfg.max_negative_ratio, self._rng
+            )
+            for tag, (vectors, labels) in sorted(problems.items()):
+                svm = KernelSVM(
+                    C=cfg.C,
+                    gamma=cfg.gamma,
+                    kernel_name=cfg.kernel_name,
+                    seed=cfg.seed,
+                )
+                svm.fit(vectors, labels)
+                self._send_model(address, tag, region, svm.model)
+
+    def _send_model(
+        self, address: int, tag: str, region: int, model: KernelSVMModel
+    ) -> None:
+        route = self.directory.locate(address, tag, region)
+        if not route.success or route.owner is None:
+            self.scenario.stats.increment("cempar_upload_lookup_failed")
+            return
+        owner = route.owner
+        if owner == address:
+            # The peer *is* the super-peer: no network hop, direct handoff.
+            self._inbox.setdefault((tag, region), []).append(model)
+            return
+        message = Message(
+            src=address,
+            dst=owner,
+            msg_type=MSG_MODEL_UPLOAD,
+            payload=model,
+            hops=max(1, route.hops),
+        )
+        delivered = self.scenario.network.send(message)
+        if delivered and self.scenario.network.is_up(owner):
+            self._inbox.setdefault((tag, region), []).append(model)
+        else:
+            self.scenario.stats.increment("cempar_upload_lost")
+
+    def _cascade_regions(self) -> None:
+        cfg = self.config
+        for (tag, region), children in sorted(self._inbox.items()):
+            cascaded = cascade_merge(
+                children,
+                C=cfg.C,
+                gamma=cfg.gamma,
+                kernel_name=cfg.kernel_name,
+                max_training_size=cfg.max_cascade_training_size,
+                seed=cfg.seed,
+            )
+            if cascaded is None:
+                continue
+            self.regional_models[(tag, region)] = cascaded
+            owner = self.directory.owners(
+                self._any_live_peer(), tag
+            ).get(region)
+            if owner is not None:
+                self._model_holder[(tag, region)] = owner
+
+    def _any_live_peer(self) -> int:
+        members = self.scenario.overlay.members()
+        if not members:
+            raise ConfigurationError("no live peers remain in the overlay")
+        return min(members)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict_scores(self, origin: int, vector: SparseVector) -> Dict[str, float]:
+        """Query all regional super-peers and combine by weighted voting.
+
+        One query message per distinct super-peer address (the document
+        vector), one response per contacted super-peer (per-tag scores).
+        """
+        self._require_trained()
+        if origin not in self.scenario.overlay.members():
+            # The peer is churned out right now; the query happens when it is
+            # next online (deferred), routed from its rejoined position.
+            self.scenario.stats.increment("cempar_query_deferred")
+            origin = self._any_live_peer()
+        by_owner = self._group_roles_by_owner(origin)
+        votes: Dict[str, List[Tuple[float, float]]] = {t: [] for t in self.tags}
+        for owner, roles in sorted(by_owner.items()):
+            regional_scores = self._scores_held_by(owner, roles, vector)
+            if not regional_scores:
+                continue
+            if owner != origin:
+                query = Message(
+                    src=origin,
+                    dst=owner,
+                    msg_type=MSG_QUERY,
+                    payload=vector,
+                    hops=max(1, roles[0][2]),
+                )
+                if not self.scenario.network.send(query) or not (
+                    self.scenario.network.is_up(owner)
+                ):
+                    self.scenario.stats.increment("cempar_query_lost")
+                    continue
+                response = Message(
+                    src=owner,
+                    dst=origin,
+                    msg_type=MSG_PREDICTION,
+                    payload={t: 0.0 for t in regional_scores},
+                    hops=1,
+                )
+                self.scenario.network.send(response)
+            for tag, (probability, weight) in regional_scores.items():
+                votes[tag].append((probability, weight))
+        self._flush_network()
+        return {tag: weighted_score(votes[tag]) for tag in self.tags}
+
+    def _group_roles_by_owner(
+        self, origin: int
+    ) -> Dict[int, List[Tuple[str, int, int]]]:
+        """owner address -> [(tag, region, route hops)] for live lookups."""
+        by_owner: Dict[int, List[Tuple[str, int, int]]] = {}
+        for tag in self.tags:
+            for region, route in self.directory.locate_all(origin, tag):
+                if not route.success or route.owner is None:
+                    self.scenario.stats.increment("cempar_query_lookup_failed")
+                    continue
+                by_owner.setdefault(route.owner, []).append(
+                    (tag, region, max(1, route.hops))
+                )
+        return by_owner
+
+    def _scores_held_by(
+        self,
+        owner: int,
+        roles: List[Tuple[str, int, int]],
+        vector: SparseVector,
+    ) -> Dict[str, Tuple[float, float]]:
+        """Evaluate the regional models the contacted super-peer holds.
+
+        Returns tag -> (calibrated probability, vote weight).  Under churn
+        the DHT may resolve to a peer that never received the cascaded model
+        (responsibility migrated after training); such owners answer nothing,
+        which the vote combiner treats as abstention.
+        """
+        scores: Dict[str, Tuple[float, float]] = {}
+        for tag, region, _ in roles:
+            model = self.regional_models.get((tag, region))
+            holder = self._model_holder.get((tag, region))
+            if model is None or holder != owner:
+                continue
+            weight = model.training_accuracy * model.training_size
+            scores[tag] = (model.probability(vector), weight)
+        return scores

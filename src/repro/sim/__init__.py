@@ -1,0 +1,60 @@
+"""P2PDMT — the P2P data-mining simulation toolkit (paper Fig. 2).
+
+The original system extends OverSim; this package is a self-contained
+discrete-event replacement providing the same observables:
+
+- a deterministic event kernel with a virtual clock (:mod:`repro.sim.engine`),
+- a physical-network model with latency, bandwidth and loss
+  (:mod:`repro.sim.network`),
+- churn processes driving joins and failures (:mod:`repro.sim.churn`),
+- size-accounted messages (:mod:`repro.sim.messages`),
+- activity logging and statistics (:mod:`repro.sim.stats`),
+- training-data distribution across peers (:mod:`repro.sim.distribution`),
+- scenario configuration and running (:mod:`repro.sim.scenario`), and
+- network visualization helpers (:mod:`repro.sim.visualize`).
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.messages import Message, payload_size
+from repro.sim.network import PhysicalNetwork, LatencyModel
+from repro.sim.churn import (
+    ChurnModel,
+    NoChurn,
+    ExponentialChurn,
+    WeibullChurn,
+    ParetoChurn,
+    ChurnDriver,
+)
+from repro.sim.node import SimNode
+from repro.sim.stats import StatsCollector, ActivityLog
+from repro.sim.trace import MessageTrace, TraceRecord
+from repro.sim.workload import QueryWorkload, WorkloadConfig, QueryEvent
+from repro.sim.distribution import DataDistributor, ShardSpec
+from repro.sim.scenario import ScenarioConfig, Scenario
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Message",
+    "payload_size",
+    "PhysicalNetwork",
+    "LatencyModel",
+    "ChurnModel",
+    "NoChurn",
+    "ExponentialChurn",
+    "WeibullChurn",
+    "ParetoChurn",
+    "ChurnDriver",
+    "SimNode",
+    "StatsCollector",
+    "ActivityLog",
+    "MessageTrace",
+    "TraceRecord",
+    "QueryWorkload",
+    "WorkloadConfig",
+    "QueryEvent",
+    "DataDistributor",
+    "ShardSpec",
+    "ScenarioConfig",
+    "Scenario",
+]

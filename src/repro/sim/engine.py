@@ -1,0 +1,138 @@
+"""Discrete-event simulation kernel.
+
+A classic heap-based event loop with a virtual clock.  Determinism is a hard
+requirement (experiments must be reproducible bit-for-bit), so:
+
+- ties in event time are broken by a monotonically increasing sequence
+  number, never by object identity;
+- all randomness flows from the simulator's single seeded
+  :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as void; the kernel will skip it."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the simulation-wide RNG (churn draws, latency jitter, ...).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self._now}"
+            )
+        return self.schedule(time - self._now, callback, label)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events; returns how many ran.
+
+        ``until`` stops the clock at that virtual time (events beyond it stay
+        queued); ``max_events`` bounds the number of callbacks executed.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue time went backwards")
+            self._now = event.time
+            event.callback()
+            executed += 1
+            self._events_processed += 1
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (with a runaway guard)."""
+        executed = self.run(max_events=max_events)
+        if self.pending_events and executed >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return executed
+
+    def clear(self) -> None:
+        """Drop all pending events (used between experiment phases)."""
+        self._queue.clear()

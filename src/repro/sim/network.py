@@ -1,0 +1,148 @@
+"""Physical network model.
+
+P2PDMT's "Configure physical network / Simulate physical network" box: every
+message experiences propagation latency (per-pair, jittered), transmission
+delay (size / bandwidth), and optional loss.  Nodes can be marked down, in
+which case delivery silently fails — exactly how a UDP overlay sees churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.stats import StatsCollector
+
+DeliveryHandler = Callable[[Message], None]
+
+
+@dataclass
+class LatencyModel:
+    """Latency parameters.
+
+    ``base_latency`` is the median one-way propagation delay;
+    ``jitter_fraction`` scales lognormal jitter around it; ``bandwidth`` is
+    bytes/second for transmission delay; ``drop_probability`` models loss.
+    """
+
+    base_latency: float = 0.05
+    jitter_fraction: float = 0.2
+    bandwidth: float = 1_000_000.0
+    drop_probability: float = 0.0
+
+    def delay_for(self, message: Message, rng: np.random.Generator) -> float:
+        """One-way delay for ``message``: propagation + transmission."""
+        jitter = 1.0
+        if self.jitter_fraction > 0:
+            jitter = float(
+                rng.lognormal(mean=0.0, sigma=self.jitter_fraction)
+            )
+        propagation = self.base_latency * jitter
+        transmission = message.size_bytes / self.bandwidth
+        return propagation + transmission
+
+
+class PhysicalNetwork:
+    """Delivers messages between registered nodes through the simulator.
+
+    Per-pair base latencies are derived deterministically from the node ids
+    (stand-in for topology/geography), so two runs with the same seed see the
+    same network.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.latency = latency or LatencyModel()
+        self.stats = stats or StatsCollector()
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._down: Set[int] = set()
+        self._pair_latency_cache: Dict[tuple, float] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Attach a node's receive handler to the network."""
+        self._handlers[node_id] = handler
+        self._down.discard(node_id)
+
+    def unregister(self, node_id: int) -> None:
+        self._handlers.pop(node_id, None)
+        self._down.discard(node_id)
+
+    def set_down(self, node_id: int, down: bool = True) -> None:
+        """Mark a node as failed (messages to/from it vanish)."""
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def is_up(self, node_id: int) -> bool:
+        return node_id in self._handlers and node_id not in self._down
+
+    def is_down(self, node_id: int) -> bool:
+        """True if explicitly failed (independent of handler registration)."""
+        return node_id in self._down
+
+    @property
+    def registered_nodes(self) -> Set[int]:
+        return set(self._handlers)
+
+    def live_nodes(self) -> Set[int]:
+        return {n for n in self._handlers if n not in self._down}
+
+    # -- latency -----------------------------------------------------------------
+
+    def _pair_base_latency(self, src: int, dst: int) -> float:
+        """Deterministic per-pair latency factor in [0.5, 1.5] x base."""
+        key = (min(src, dst), max(src, dst))
+        cached = self._pair_latency_cache.get(key)
+        if cached is None:
+            pair_rng = np.random.default_rng(hash(key) & 0x7FFFFFFF)
+            cached = 0.5 + pair_rng.random()
+            self._pair_latency_cache[key] = cached
+        return cached
+
+    # -- sending -------------------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        """Queue ``message`` for delivery.
+
+        Returns False when the message was dropped immediately (source down
+        or loss); the caller cannot distinguish later failures, as in real
+        networks.  Traffic is counted for every *sent* message, delivered or
+        not — bytes leave the NIC either way.
+        """
+        if message.src == message.dst:
+            raise SimulationError("loopback messages need no network")
+        if not self.is_up(message.src):
+            return False
+        self.stats.record_message(message)
+        if (
+            self.latency.drop_probability > 0
+            and self.simulator.rng.random() < self.latency.drop_probability
+        ):
+            self.stats.increment("messages_dropped")
+            return False
+        pair_factor = self._pair_base_latency(message.src, message.dst)
+        delay = pair_factor * self.latency.delay_for(message, self.simulator.rng)
+        self.simulator.schedule(
+            delay, lambda: self._deliver(message), label=f"deliver:{message.msg_type}"
+        )
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None or message.dst in self._down:
+            self.stats.increment("messages_undeliverable")
+            return
+        handler(message)

@@ -1,0 +1,200 @@
+"""Scenario configuration and assembly (P2PDMT's "Set parameters" box).
+
+A :class:`ScenarioConfig` captures every knob the demo varies: network size,
+overlay type, churn model, physical-network parameters, and the data
+size/class distribution.  :class:`Scenario` assembles the simulator, network,
+overlay, churn driver, and stats into one ready-to-run environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.overlay.base import Overlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.unstructured import UnstructuredOverlay
+from repro.sim.churn import (
+    ChurnDriver,
+    ChurnModel,
+    ExponentialChurn,
+    NoChurn,
+    ParetoChurn,
+    WeibullChurn,
+)
+from repro.sim.distribution import ShardSpec
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, PhysicalNetwork
+from repro.sim.stats import StatsCollector
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to reproduce one simulated P2P environment."""
+
+    num_peers: int = 32
+    overlay: str = "chord"  # "chord" | "kademlia" | "pastry" | "unstructured"
+    churn: str = "none"  # "none" | "exponential" | "weibull" | "pareto"
+    mean_session: float = 600.0
+    mean_downtime: float = 60.0
+    base_latency: float = 0.05
+    bandwidth: float = 1_000_000.0
+    drop_probability: float = 0.0
+    unstructured_degree: int = 4
+    stabilize_interval: float = 30.0
+    shard: ShardSpec = field(default_factory=lambda: ShardSpec(num_peers=32))
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_peers <= 0:
+            raise ConfigurationError("num_peers must be positive")
+        if self.overlay not in ("chord", "kademlia", "pastry", "unstructured"):
+            raise ConfigurationError(f"unknown overlay {self.overlay!r}")
+        if self.churn not in ("none", "exponential", "weibull", "pareto"):
+            raise ConfigurationError(f"unknown churn model {self.churn!r}")
+        if self.shard.num_peers != self.num_peers:
+            raise ConfigurationError(
+                "shard.num_peers must equal num_peers "
+                f"({self.shard.num_peers} != {self.num_peers})"
+            )
+
+    def build_churn_model(self) -> ChurnModel:
+        if self.churn == "none":
+            return NoChurn()
+        if self.churn == "exponential":
+            return ExponentialChurn(self.mean_session, self.mean_downtime)
+        if self.churn == "weibull":
+            return WeibullChurn(
+                scale_session=self.mean_session, mean_downtime=self.mean_downtime
+            )
+        return ParetoChurn(
+            minimum_session=self.mean_session / 3.0,
+            mean_downtime=self.mean_downtime,
+        )
+
+    def build_overlay(self) -> Overlay:
+        if self.overlay == "chord":
+            return ChordOverlay()
+        if self.overlay == "kademlia":
+            return KademliaOverlay(seed=self.seed)
+        if self.overlay == "pastry":
+            from repro.overlay.pastry import PastryOverlay
+
+            return PastryOverlay()
+        return UnstructuredOverlay(degree=self.unstructured_degree, seed=self.seed)
+
+
+class Scenario:
+    """An assembled simulation environment.
+
+    Peers get physical addresses 0..num_peers-1, join the overlay, and are
+    registered on the physical network.  Churn (if any) keeps overlay
+    membership in sync and schedules periodic stabilization.
+    """
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        config.validate()
+        self.config = config
+        self.simulator = Simulator(seed=config.seed)
+        self.stats = StatsCollector()
+        self.network = PhysicalNetwork(
+            self.simulator,
+            latency=LatencyModel(
+                base_latency=config.base_latency,
+                bandwidth=config.bandwidth,
+                drop_probability=config.drop_probability,
+            ),
+            stats=self.stats,
+        )
+        self.overlay = config.build_overlay()
+        self.peer_addresses: List[int] = list(range(config.num_peers))
+        for address in self.peer_addresses:
+            self.overlay.join(address)
+        self._finalize_overlay()
+
+        self.churn_model = config.build_churn_model()
+        self.churn_driver = ChurnDriver(
+            self.simulator,
+            self.network,
+            self.churn_model,
+            on_leave=self._on_peer_leave,
+            on_join=self._on_peer_join,
+        )
+        self._stabilize_scheduled = False
+
+    # ------------------------------------------------------------------
+
+    def _finalize_overlay(self) -> None:
+        stabilize = getattr(self.overlay, "stabilize", None)
+        if callable(stabilize):
+            stabilize()
+
+    def _on_peer_leave(self, address: int) -> None:
+        self.overlay.leave(address)
+        self.stats.increment("churn_leaves")
+
+    def _on_peer_join(self, address: int) -> None:
+        self.overlay.join(address)
+        self.stats.increment("churn_joins")
+
+    #: bytes of one maintenance probe (ping/pong + a few table entries)
+    MAINTENANCE_PROBE_BYTES = 48
+    #: probes each node sends per stabilization round
+    MAINTENANCE_PROBES_PER_NODE = 4
+
+    def _periodic_stabilize(self) -> None:
+        stabilize = getattr(self.overlay, "stabilize", None)
+        if callable(stabilize):
+            stabilize()
+        repair = getattr(self.overlay, "repair", None)
+        if callable(repair):
+            repair()
+        self.stats.increment("stabilize_rounds")
+        self._charge_maintenance()
+        self.simulator.schedule(
+            self.config.stabilize_interval, self._periodic_stabilize, "stabilize"
+        )
+
+    def _charge_maintenance(self) -> None:
+        """Charge the probe traffic a stabilization round costs.
+
+        Every live node probes a handful of neighbours (successor pings,
+        bucket refreshes).  The table repair itself is computed synchronously
+        (DESIGN.md §5); this keeps its *cost* visible in every experiment
+        that runs under churn.
+        """
+        from repro.sim.messages import Message
+
+        for address in self.overlay.members():
+            neighbors = self.overlay.neighbors(address)
+            for neighbor in neighbors[: self.MAINTENANCE_PROBES_PER_NODE]:
+                self.stats.record_message(
+                    Message(
+                        src=address,
+                        dst=neighbor,
+                        msg_type="overlay.maintenance",
+                        size_bytes=self.MAINTENANCE_PROBE_BYTES,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+
+    def start_churn(self) -> None:
+        """Begin churn cycles and periodic overlay maintenance."""
+        self.churn_driver.start(self.peer_addresses)
+        if self.churn_model.churns and not self._stabilize_scheduled:
+            self._stabilize_scheduled = True
+            self.simulator.schedule(
+                self.config.stabilize_interval, self._periodic_stabilize, "stabilize"
+            )
+
+    def live_peers(self) -> List[int]:
+        """Peers currently in the overlay (i.e. not churned out)."""
+        members = set(self.overlay.members())
+        return [a for a in self.peer_addresses if a in members]
+
+    def run(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
+        self.simulator.run(until=self.simulator.now + duration)

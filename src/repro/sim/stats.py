@@ -1,0 +1,123 @@
+"""Statistics collection and activity logging (P2PDMT's "Log activities" /
+"Visualize statistics" boxes).
+
+:class:`StatsCollector` is the single sink every component reports into:
+message counts and bytes by type, named counters, and time-stamped series.
+Experiments read their cost columns from here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.messages import Message
+
+
+@dataclass
+class LogEntry:
+    """One time-stamped activity record."""
+
+    time: float
+    actor: int
+    action: str
+    detail: str = ""
+
+
+class ActivityLog:
+    """Append-only activity log with simple filtering."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._entries: List[LogEntry] = []
+        self._capacity = capacity
+
+    def record(self, time: float, actor: int, action: str, detail: str = "") -> None:
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            self._entries.pop(0)
+        self._entries.append(LogEntry(time, actor, action, detail))
+
+    def entries(
+        self, action: Optional[str] = None, actor: Optional[int] = None
+    ) -> List[LogEntry]:
+        result = self._entries
+        if action is not None:
+            result = [e for e in result if e.action == action]
+        if actor is not None:
+            result = [e for e in result if e.actor == actor]
+        return list(result)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class StatsCollector:
+    """Counters, per-message-type traffic accounting, and time series."""
+
+    def __init__(self) -> None:
+        self.messages_by_type: Counter = Counter()
+        self.bytes_by_type: Counter = Counter()
+        self.hops_by_type: Counter = Counter()
+        self.counters: Counter = Counter()
+        self.series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self.per_peer_bytes: Counter = Counter()
+        self.per_peer_received: Counter = Counter()
+        self.log = ActivityLog()
+
+    # -- traffic -----------------------------------------------------------
+
+    def record_message(self, message: Message) -> None:
+        self.messages_by_type[message.msg_type] += 1
+        self.bytes_by_type[message.msg_type] += message.total_bytes()
+        self.hops_by_type[message.msg_type] += message.hops
+        self.per_peer_bytes[message.src] += message.total_bytes()
+        self.per_peer_received[message.dst] += message.size_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_type.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_type.values())
+
+    def bytes_for(self, *msg_types: str) -> int:
+        return sum(self.bytes_by_type.get(t, 0) for t in msg_types)
+
+    def messages_for(self, *msg_types: str) -> int:
+        return sum(self.messages_by_type.get(t, 0) for t in msg_types)
+
+    # -- counters & series -------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def observe(self, name: str, time: float, value: float) -> None:
+        self.series[name].append((time, value))
+
+    def series_values(self, name: str) -> List[float]:
+        return [value for _, value in self.series.get(name, [])]
+
+    # -- reporting -------------------------------------------------------------
+
+    def traffic_table(self) -> str:
+        """Human-readable per-type traffic summary."""
+        lines = [f"{'message type':<28}{'count':>10}{'bytes':>14}"]
+        for msg_type in sorted(self.messages_by_type):
+            lines.append(
+                f"{msg_type:<28}{self.messages_by_type[msg_type]:>10}"
+                f"{self.bytes_by_type[msg_type]:>14}"
+            )
+        lines.append(f"{'TOTAL':<28}{self.total_messages:>10}{self.total_bytes:>14}")
+        return "\n".join(lines)
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Fold another collector's numbers into this one."""
+        self.messages_by_type.update(other.messages_by_type)
+        self.bytes_by_type.update(other.bytes_by_type)
+        self.hops_by_type.update(other.hops_by_type)
+        self.counters.update(other.counters)
+        self.per_peer_bytes.update(other.per_peer_bytes)
+        self.per_peer_received.update(other.per_peer_received)
+        for name, points in other.series.items():
+            self.series[name].extend(points)

@@ -1,0 +1,178 @@
+"""Message tracing (P2PDMT "Log activities").
+
+A :class:`MessageTrace` taps the physical network and records every sent
+message with its virtual timestamp, endpoints, type, and size.  Traces can
+be filtered, summarized into timelines, and exported as JSONL for external
+analysis — the toolkit's equivalent of OverSim's packet logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.sim.messages import Message
+from repro.sim.network import PhysicalNetwork
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced message send."""
+
+    time: float
+    src: int
+    dst: int
+    msg_type: str
+    size_bytes: int
+    hops: int
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "src": self.src,
+            "dst": self.dst,
+            "type": self.msg_type,
+            "bytes": self.size_bytes,
+            "hops": self.hops,
+        }
+
+
+class MessageTrace:
+    """Records every message sent through a :class:`PhysicalNetwork`.
+
+    Attach with :meth:`attach`; detach restores the network's original
+    ``send``.  Recording happens for *sent* messages whether or not they are
+    later dropped — the same convention the stats collector uses.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._network: Optional[PhysicalNetwork] = None
+        self._original_send: Optional[Callable[[Message], bool]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, network: PhysicalNetwork) -> "MessageTrace":
+        if self._network is not None:
+            raise RuntimeError("trace is already attached")
+        self._network = network
+        self._original_send = network.send
+
+        def traced_send(message: Message) -> bool:
+            self._record(network.simulator.now, message)
+            return self._original_send(message)
+
+        network.send = traced_send  # type: ignore[method-assign]
+        return self
+
+    def detach(self) -> None:
+        if self._network is not None and self._original_send is not None:
+            self._network.send = self._original_send  # type: ignore[method-assign]
+        self._network = None
+        self._original_send = None
+
+    def __enter__(self) -> "MessageTrace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # -- recording ---------------------------------------------------------------
+
+    def _record(self, time: float, message: Message) -> None:
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self._records.pop(0)
+        self._records.append(
+            TraceRecord(
+                time=time,
+                src=message.src,
+                dst=message.dst,
+                msg_type=message.msg_type,
+                size_bytes=message.size_bytes,
+                hops=message.hops,
+            )
+        )
+
+    # -- queries --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        msg_type: Optional[str] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[TraceRecord]:
+        """Filtered copy of the trace."""
+        result = []
+        for record in self._records:
+            if msg_type is not None and record.msg_type != msg_type:
+                continue
+            if src is not None and record.src != src:
+                continue
+            if dst is not None and record.dst != dst:
+                continue
+            if not since <= record.time <= until:
+                continue
+            result.append(record)
+        return result
+
+    def timeline(self, bucket_seconds: float = 1.0) -> List[Tuple[float, int, int]]:
+        """(bucket start, messages, bytes) triples over virtual time."""
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        buckets: Dict[int, Tuple[int, int]] = {}
+        for record in self._records:
+            key = int(record.time // bucket_seconds)
+            count, size = buckets.get(key, (0, 0))
+            buckets[key] = (count + 1, size + record.size_bytes)
+        return [
+            (key * bucket_seconds, count, size)
+            for key, (count, size) in sorted(buckets.items())
+        ]
+
+    def conversation_matrix(self) -> Dict[Tuple[int, int], int]:
+        """(src, dst) -> message count — who talks to whom."""
+        matrix: Dict[Tuple[int, int], int] = {}
+        for record in self._records:
+            key = (record.src, record.dst)
+            matrix[key] = matrix.get(key, 0) + 1
+        return matrix
+
+    # -- export ---------------------------------------------------------------------
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the trace as JSONL; returns the record count."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def load_jsonl(cls, path: Union[str, Path]) -> "MessageTrace":
+        trace = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                trace._records.append(
+                    TraceRecord(
+                        time=float(data["time"]),
+                        src=int(data["src"]),
+                        dst=int(data["dst"]),
+                        msg_type=str(data["type"]),
+                        size_bytes=int(data["bytes"]),
+                        hops=int(data.get("hops", 1)),
+                    )
+                )
+        return trace

@@ -1,0 +1,189 @@
+"""Document vectorization: bag-of-words, TF-IDF, and the full pipeline.
+
+The paper's preprocessing chain is: filter stop words and user-specified
+sensitive words -> Porter-stem -> represent each document as a sparse vector
+``{w_1, ..., w_m}`` where attribute id = word id and value = word weight.
+
+:class:`PreprocessingPipeline` packages that chain.  In the distributed
+setting all peers must agree on feature ids without exchanging lexicons, so
+the default id scheme is *feature hashing* (:func:`stable_word_id`): ids are
+stable hashes into a fixed-size space, exactly reproducible on every peer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import VocabularyError
+from repro.ml.sparse import SparseVector
+from repro.text.lexicon import Lexicon, stable_word_id
+from repro.text.porter import PorterStemmer
+from repro.text.sensitive import SensitiveWordFilter
+from repro.text.stopwords import ENGLISH_STOP_WORDS
+from repro.text.tokenizer import tokenize
+
+
+class BagOfWordsVectorizer:
+    """Term-frequency vectorizer over a fixed hashed feature space.
+
+    Parameters
+    ----------
+    dimension:
+        Size of the hashed feature space.  Collisions are possible but rare
+        for realistic vocabularies; the privacy analysis in the paper in fact
+        *benefits* from hashing (ids reveal even less than a shared lexicon).
+    sublinear_tf:
+        If True, use ``1 + log(tf)`` instead of raw term frequency.
+    """
+
+    def __init__(self, dimension: int = 2 ** 18, sublinear_tf: bool = False) -> None:
+        if dimension <= 0:
+            raise VocabularyError("dimension must be positive")
+        self.dimension = dimension
+        self.sublinear_tf = sublinear_tf
+
+    def vectorize_tokens(self, tokens: Sequence[str]) -> SparseVector:
+        """Map stemmed tokens to a sparse TF vector."""
+        counts: Counter = Counter(
+            stable_word_id(token, self.dimension) for token in tokens
+        )
+        if not self.sublinear_tf:
+            return SparseVector.from_counts(counts)
+        return SparseVector({k: 1.0 + math.log(v) for k, v in counts.items()})
+
+
+class TfidfTransformer:
+    """Rescales TF vectors by inverse document frequency.
+
+    IDF statistics are estimated from the *local* training documents of each
+    peer (no global coordination needed); ``idf = log((1 + n) / (1 + df)) + 1``
+    with smoothing so unseen features keep weight 1.
+    """
+
+    def __init__(self) -> None:
+        self._df: Counter = Counter()
+        self._num_documents = 0
+
+    def fit(self, vectors: Iterable[SparseVector]) -> "TfidfTransformer":
+        for vector in vectors:
+            self._num_documents += 1
+            for feature_id in vector:
+                self._df[feature_id] += 1
+        return self
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    def idf(self, feature_id: int) -> float:
+        df = self._df.get(feature_id, 0)
+        return math.log((1.0 + self._num_documents) / (1.0 + df)) + 1.0
+
+    def transform(self, vector: SparseVector, normalize: bool = True) -> SparseVector:
+        if self._num_documents == 0:
+            raise VocabularyError("TfidfTransformer.transform called before fit")
+        weighted = SparseVector(
+            {fid: value * self.idf(fid) for fid, value in vector.items()}
+        )
+        return weighted.normalized() if normalize else weighted
+
+
+@dataclass
+class PreprocessingPipeline:
+    """The paper's full preprocessing chain as one configurable object.
+
+    ``process(text)`` returns the sparse document vector; ``tokens(text)``
+    exposes the intermediate stemmed tokens (used by the library's snippet
+    display and by tests).
+    """
+
+    dimension: int = 2 ** 18
+    sublinear_tf: bool = False
+    normalize: bool = True
+    use_stop_words: bool = True
+    min_token_length: int = 2
+    sensitive_filter: SensitiveWordFilter = field(default_factory=SensitiveWordFilter)
+    _stemmer: PorterStemmer = field(default_factory=PorterStemmer, repr=False)
+    _stem_cache: Dict[str, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._vectorizer = BagOfWordsVectorizer(
+            dimension=self.dimension, sublinear_tf=self.sublinear_tf
+        )
+        self._tfidf: Optional[TfidfTransformer] = None
+
+    def fit_tfidf(self, texts: Iterable[str]) -> "PreprocessingPipeline":
+        """Estimate IDF weights from ``texts`` and enable TF-IDF weighting.
+
+        The paper's vectors carry word *weights*; raw TF is the default and
+        TF-IDF an opt-in refinement.  Each peer fits on its **local**
+        documents only — no IDF statistics are exchanged, so the privacy
+        posture is unchanged.
+        """
+        transformer = TfidfTransformer()
+        transformer.fit(
+            self._vectorizer.vectorize_tokens(self.tokens(text))
+            for text in texts
+        )
+        if transformer.num_documents == 0:
+            raise VocabularyError("fit_tfidf needs at least one document")
+        self._tfidf = transformer
+        return self
+
+    @property
+    def uses_tfidf(self) -> bool:
+        return self._tfidf is not None
+
+    def tokens(self, text: str) -> List[str]:
+        """Tokenize, filter stop/sensitive words, and stem."""
+        raw = tokenize(text, min_length=self.min_token_length)
+        if self.use_stop_words:
+            raw = [token for token in raw if token not in ENGLISH_STOP_WORDS]
+        raw = self.sensitive_filter.filter(raw)
+        stemmed = []
+        cache = self._stem_cache
+        for token in raw:
+            cached = cache.get(token)
+            if cached is None:
+                cached = self._stemmer.stem(token)
+                cache[token] = cached
+            stemmed.append(cached)
+        return stemmed
+
+    def process(self, text: str) -> SparseVector:
+        """Full chain: text -> sparse TF vector in the hashed feature space.
+
+        L2 normalization (default on) removes document-length effects and
+        keeps RBF-kernel distances in [0, 2] — both SVM families depend on
+        it for text.
+        """
+        vector = self._vectorizer.vectorize_tokens(self.tokens(text))
+        if self._tfidf is not None:
+            return self._tfidf.transform(vector, normalize=self.normalize)
+        return vector.normalized() if self.normalize else vector
+
+    def process_many(self, texts: Iterable[str]) -> List[SparseVector]:
+        return [self.process(text) for text in texts]
+
+
+def build_lexicon(
+    texts: Iterable[str],
+    pipeline: Optional[PreprocessingPipeline] = None,
+    min_df: int = 1,
+) -> Lexicon:
+    """Build a compact (non-hashed) lexicon over ``texts``.
+
+    The hashed pipeline is what the P2P system uses; this helper exists for
+    the centralized baseline and for introspection (mapping ids back to words
+    in the tag cloud examples).
+    """
+    pipeline = pipeline or PreprocessingPipeline()
+    lexicon = Lexicon()
+    for text in texts:
+        lexicon.add_document(pipeline.tokens(text))
+    if min_df > 1:
+        lexicon = lexicon.prune(min_df=min_df)
+    return lexicon

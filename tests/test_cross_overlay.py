@@ -1,0 +1,93 @@
+"""Classifiers across overlay types.
+
+PACE's propagation uses the flood primitive on unstructured overlays and
+unicast elsewhere; CEMPaR and NB-Agg need a DHT but must work on any of the
+three structured ones.  These tests pin those paths.
+"""
+
+import pytest
+
+from repro.p2pclass.cempar import CemparClassifier, CemparConfig
+from repro.p2pclass.nbagg import NBAggClassifier
+from repro.p2pclass.pace import PaceClassifier, PaceConfig
+from repro.sim.distribution import ShardSpec
+from repro.sim.scenario import Scenario, ScenarioConfig
+
+from tests.test_classifiers import NUM_PEERS, PEER_DATA, TAGS, TEST_ITEMS, evaluate
+
+
+def scenario_with(overlay: str, seed: int = 0) -> Scenario:
+    return Scenario(
+        ScenarioConfig(
+            num_peers=NUM_PEERS,
+            overlay=overlay,
+            shard=ShardSpec(num_peers=NUM_PEERS),
+            seed=seed,
+        )
+    )
+
+
+class TestPaceOnUnstructured:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        classifier = PaceClassifier(
+            scenario_with("unstructured"), PEER_DATA, TAGS, PaceConfig()
+        )
+        classifier.train()
+        return classifier
+
+    def test_flood_propagation_reaches_everyone(self, trained):
+        for address in range(NUM_PEERS):
+            assert trained.models_indexed_at(address) == NUM_PEERS
+
+    def test_flood_redundancy_charged(self, trained):
+        # Flooding crosses more edges than there are recipients; the excess
+        # is charged as redundant traffic.
+        assert trained.scenario.stats.counters["pace_flood_redundant"] > 0
+
+    def test_accuracy_comparable_to_chord(self, trained):
+        chord = PaceClassifier(
+            scenario_with("chord"), PEER_DATA, TAGS, PaceConfig()
+        )
+        chord.train()
+        f1_unstructured = evaluate(trained, TEST_ITEMS)
+        f1_chord = evaluate(chord, TEST_ITEMS)
+        assert abs(f1_unstructured - f1_chord) < 0.15
+
+
+@pytest.mark.parametrize("overlay", ["chord", "kademlia", "pastry"])
+class TestDhtClassifiersAcrossOverlays:
+    def test_cempar_trains_and_predicts(self, overlay):
+        classifier = CemparClassifier(
+            scenario_with(overlay), PEER_DATA, TAGS,
+            CemparConfig(num_regions=1),
+        )
+        classifier.train()
+        assert evaluate(classifier, TEST_ITEMS[:20]) > 0.25
+
+    def test_nbagg_trains_and_predicts(self, overlay):
+        classifier = NBAggClassifier(scenario_with(overlay), PEER_DATA, TAGS)
+        classifier.train()
+        assert evaluate(classifier, TEST_ITEMS[:20]) > 0.25
+
+
+class TestSystemAcrossOverlays:
+    def test_system_builds_on_every_overlay(self):
+        from repro.core.tagger import P2PDocTaggerSystem, SystemConfig
+        from repro.data.delicious import DeliciousGenerator
+
+        corpus = DeliciousGenerator(
+            num_users=4, seed=9, num_tags=5, docs_per_user_range=(10, 12),
+            vocabulary_size=300, topic_words_per_tag=25,
+            doc_length_range=(25, 45),
+        ).generate()
+        for overlay in ("chord", "kademlia", "pastry", "unstructured"):
+            system = P2PDocTaggerSystem(
+                corpus,
+                SystemConfig(
+                    algorithm="pace", overlay=overlay, train_fraction=0.3
+                ),
+            )
+            system.train()
+            report = system.evaluate(max_documents=10)
+            assert 0.0 <= report.metrics.micro_f1 <= 1.0

@@ -1,0 +1,126 @@
+"""Edge-case coverage across modules: boundaries the main suites skip."""
+
+import pytest
+
+from repro.core.tagger import EvaluationReport, P2PDocTaggerSystem, SystemConfig
+from repro.data.corpus import Corpus, Document
+from repro.data.delicious import DeliciousGenerator
+from repro.errors import ConfigurationError, DataError
+from repro.ml.metrics import MultiLabelReport
+from repro.sim.distribution import DataDistributor, ShardSpec
+from repro.sim.engine import Simulator
+
+
+class TestEngineBoundaries:
+    def test_event_exactly_at_until_runs(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(5.0, lambda: fired.append(1))
+        simulator.run(until=5.0)
+        assert fired == [1]
+
+    def test_until_beyond_all_events_advances_clock(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run(until=10.0)
+        assert simulator.now == 10.0
+
+    def test_run_on_empty_queue_with_until(self):
+        simulator = Simulator()
+        simulator.run(until=3.0)
+        assert simulator.now == 3.0
+
+
+class TestDistributionBranches:
+    def test_dirichlet_with_untagged_documents(self):
+        documents = [
+            Document(doc_id=i, text="x", tags=frozenset({"a"} if i % 2 else set()),
+                     owner=0)
+            for i in range(12)
+        ]
+        spec = ShardSpec(
+            num_peers=3, class_distribution="dirichlet", dirichlet_alpha=0.5
+        )
+        sharded = DataDistributor(spec).distribute(Corpus(documents))
+        assert len(sharded) == 12
+        assert len(sharded.owners) == 3
+
+    def test_dirichlet_all_untagged_rejected(self):
+        documents = [
+            Document(doc_id=i, text="x", tags=frozenset(), owner=0)
+            for i in range(6)
+        ]
+        spec = ShardSpec(num_peers=2, class_distribution="dirichlet")
+        with pytest.raises(DataError):
+            DataDistributor(spec).distribute(Corpus(documents))
+
+
+class TestSystemConfig:
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(threshold=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            SystemConfig(train_fraction=0.0).validate()
+
+    def test_min_tag_support_filters_rare_tags(self):
+        corpus = DeliciousGenerator(
+            num_users=4, seed=1, docs_per_user_range=(10, 12)
+        ).generate()
+        system = P2PDocTaggerSystem(
+            corpus, SystemConfig(algorithm="local", min_tag_support=3)
+        )
+        counts = corpus.tag_counts()
+        for tag in system.corpus.tag_universe():
+            assert counts[tag] >= 3
+
+    def test_min_tag_support_too_high_rejected(self):
+        corpus = DeliciousGenerator(
+            num_users=2, seed=1, docs_per_user_range=(5, 6)
+        ).generate()
+        with pytest.raises(ConfigurationError):
+            P2PDocTaggerSystem(
+                corpus, SystemConfig(algorithm="local", min_tag_support=10 ** 6)
+            )
+
+
+class TestEvaluationReport:
+    def test_summary_contains_all_cost_fields(self):
+        report = EvaluationReport(
+            algorithm="x",
+            metrics=MultiLabelReport.compute([{"a"}], [{"a"}]),
+            total_messages=5,
+            total_bytes=100,
+            max_peer_sent_bytes=60,
+            max_peer_received_bytes=40,
+            virtual_time=1.5,
+        )
+        summary = report.summary()
+        for token in ("[x]", "msgs=5", "bytes=100", "maxTx=60", "maxRx=40"):
+            assert token in summary
+
+
+class TestTuneThresholdsIntegration:
+    def test_tune_before_train_raises(self):
+        from repro.errors import NotTrainedError
+
+        corpus = DeliciousGenerator(
+            num_users=4, seed=2, docs_per_user_range=(10, 12)
+        ).generate()
+        system = P2PDocTaggerSystem.from_corpus(corpus, algorithm="local")
+        with pytest.raises(NotTrainedError):
+            system.tune_thresholds()
+
+    def test_tune_installs_per_tag_policy(self):
+        from repro.core.multilabel import PerTagThreshold
+
+        corpus = DeliciousGenerator(
+            num_users=4, seed=2, docs_per_user_range=(12, 14)
+        ).generate()
+        system = P2PDocTaggerSystem.from_corpus(
+            corpus, algorithm="local", train_fraction=0.3
+        )
+        system.train()
+        thresholds = system.tune_thresholds()
+        assert isinstance(system.policy, PerTagThreshold)
+        assert set(thresholds) == set(system.corpus.tag_universe())
+        assert all(0.0 <= t <= 1.0 for t in thresholds.values())

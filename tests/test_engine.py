@@ -1,0 +1,133 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.schedule(1.0, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(5.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [5.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(10.0, lambda: hits.append(2))
+        executed = sim.run(until=5.0)
+        assert executed == 1
+        assert hits == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_then_continue(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10.0, lambda: hits.append(1))
+        sim.run(until=5.0)
+        sim.run()
+        assert hits == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert sim.pending_events == 7
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, lambda: hits.append("cancelled"))
+        sim.schedule(2.0, lambda: hits.append("kept"))
+        event.cancel()
+        sim.run()
+        assert hits == ["kept"]
+
+    def test_run_until_idle_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_clear(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_deterministic_rng(self):
+        a = Simulator(seed=42).rng.random()
+        b = Simulator(seed=42).rng.random()
+        assert a == b

@@ -1,0 +1,145 @@
+"""Tests for the virtual file system and File Browser selection semantics."""
+
+import pytest
+
+from repro.core.filebrowser import FileBrowser, VirtualFileSystem, _normalize
+from repro.data.corpus import Document
+from repro.errors import ConfigurationError
+
+
+def doc(doc_id, tags=("t",)):
+    return Document(doc_id=doc_id, text="x", tags=frozenset(tags), owner=0)
+
+
+def sample_fs():
+    fs = VirtualFileSystem()
+    fs.add_document("/docs/work/report.txt", doc(1))
+    fs.add_document("/docs/work/notes.txt", doc(2))
+    fs.add_document("/docs/personal/diary.txt", doc(3))
+    fs.add_document("/music/readme.txt", doc(4))
+    return fs
+
+
+class TestNormalize:
+    def test_forms(self):
+        assert _normalize("a/b") == "/a/b"
+        assert _normalize("/a/b/") == "/a/b"
+        assert _normalize("//a//b") == "/a/b"
+        assert _normalize("/") == "/"
+
+
+class TestVirtualFileSystem:
+    def test_mkdir_creates_ancestors(self):
+        fs = VirtualFileSystem()
+        fs.mkdir("/a/b/c")
+        assert fs.is_directory("/a")
+        assert fs.is_directory("/a/b")
+        assert fs.is_directory("/a/b/c")
+
+    def test_add_and_get_document(self):
+        fs = sample_fs()
+        assert fs.document_at("/docs/work/report.txt").doc_id == 1
+        assert fs.is_file("/docs/work/report.txt")
+        assert not fs.is_file("/docs/work")
+
+    def test_add_over_directory_rejected(self):
+        fs = sample_fs()
+        with pytest.raises(ConfigurationError):
+            fs.add_document("/docs/work", doc(9))
+
+    def test_missing_document(self):
+        with pytest.raises(ConfigurationError):
+            sample_fs().document_at("/nope.txt")
+
+    def test_list_directory(self):
+        fs = sample_fs()
+        subdirs, files = fs.list_directory("/docs")
+        assert subdirs == ["/docs/personal", "/docs/work"]
+        assert files == []
+        _, work_files = fs.list_directory("/docs/work")
+        assert work_files == ["/docs/work/notes.txt", "/docs/work/report.txt"]
+
+    def test_list_root(self):
+        subdirs, files = sample_fs().list_directory("/")
+        assert "/docs" in subdirs and "/music" in subdirs
+
+    def test_list_missing_directory(self):
+        with pytest.raises(ConfigurationError):
+            sample_fs().list_directory("/ghost")
+
+    def test_walk_recursive(self):
+        fs = sample_fs()
+        assert len(fs.walk("/docs")) == 3
+        assert fs.walk("/docs/work/report.txt") == ["/docs/work/report.txt"]
+        assert len(fs.walk()) == 4
+
+    def test_len(self):
+        assert len(sample_fs()) == 4
+
+    def test_from_documents_layout(self):
+        documents = [doc(i) for i in range(7)]
+        fs = VirtualFileSystem.from_documents(documents, folders=3)
+        assert len(fs) == 7
+        subdirs, _ = fs.list_directory("/home/user/documents")
+        assert len(subdirs) == 3
+        with pytest.raises(ConfigurationError):
+            VirtualFileSystem.from_documents(documents, folders=0)
+
+
+class TestFileBrowser:
+    def test_cd_and_ls(self):
+        browser = FileBrowser(sample_fs())
+        browser.cd("/docs")
+        assert browser.cwd == "/docs"
+        browser.cd("work")  # relative
+        assert browser.cwd == "/docs/work"
+        _, files = browser.ls()
+        assert len(files) == 2
+
+    def test_cd_invalid(self):
+        with pytest.raises(ConfigurationError):
+            FileBrowser(sample_fs()).cd("/nope")
+
+    def test_select_file(self):
+        browser = FileBrowser(sample_fs())
+        added = browser.select("/docs/work/report.txt")
+        assert added == 1
+        assert browser.selected_documents()[0].doc_id == 1
+
+    def test_select_folder_recursive(self):
+        """The paper: users select documents *or folders* to tag."""
+        browser = FileBrowser(sample_fs())
+        added = browser.select("/docs")
+        assert added == 3
+        assert {d.doc_id for d in browser.selected_documents()} == {1, 2, 3}
+
+    def test_select_relative(self):
+        browser = FileBrowser(sample_fs())
+        browser.cd("/docs")
+        browser.select("work")
+        assert len(browser) == 2
+
+    def test_select_idempotent(self):
+        browser = FileBrowser(sample_fs())
+        browser.select("/docs")
+        assert browser.select("/docs/work") == 0  # already selected
+
+    def test_deselect(self):
+        browser = FileBrowser(sample_fs())
+        browser.select("/docs")
+        removed = browser.deselect("/docs/work")
+        assert removed == 2
+        assert len(browser) == 1
+
+    def test_clear(self):
+        browser = FileBrowser(sample_fs())
+        browser.select("/")
+        browser.clear_selection()
+        assert len(browser) == 0
+
+    def test_only_approved_documents_flow(self):
+        """The approval boundary: unselected files never reach tagging."""
+        browser = FileBrowser(sample_fs())
+        browser.select("/docs/personal")
+        approved = browser.selected_documents()
+        assert [d.doc_id for d in approved] == [3]

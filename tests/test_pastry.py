@@ -1,0 +1,153 @@
+"""Tests for the Pastry overlay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OverlayError
+from repro.overlay.idspace import key_id_for
+from repro.overlay.pastry import PastryOverlay, _digits, _shared_prefix_length
+from repro.sim.distribution import ShardSpec
+from repro.sim.scenario import Scenario, ScenarioConfig
+
+
+def pastry(n, stabilized=True):
+    overlay = PastryOverlay()
+    for address in range(n):
+        overlay.join(address)
+    if stabilized:
+        overlay.stabilize()
+    return overlay
+
+
+class TestDigits:
+    def test_digit_expansion_roundtrip(self):
+        value = 0x123456789ABCDEF0
+        digits = _digits(value, 4)
+        assert len(digits) == 16
+        rebuilt = 0
+        for digit in digits:
+            rebuilt = (rebuilt << 4) | digit
+        assert rebuilt == value
+
+    def test_shared_prefix(self):
+        assert _shared_prefix_length([1, 2, 3], [1, 2, 4]) == 2
+        assert _shared_prefix_length([1], [2]) == 0
+        assert _shared_prefix_length([5, 5], [5, 5]) == 2
+
+
+class TestPastryRouting:
+    def test_routes_to_true_owner(self):
+        overlay = pastry(64)
+        for i in range(40):
+            key = key_id_for(f"key{i}")
+            result = overlay.route(i % 64, key)
+            assert result.success
+            assert result.owner == overlay.true_owner(key)
+
+    def test_hops_logarithmic(self):
+        overlay = pastry(128)
+        hops = [
+            overlay.route(i % 128, key_id_for(f"h{i}")).hops for i in range(50)
+        ]
+        assert max(hops) <= 8
+
+    def test_single_node(self):
+        overlay = pastry(1)
+        result = overlay.route(0, key_id_for("x"))
+        assert result.owner == 0
+
+    def test_all_origins_agree(self):
+        overlay = pastry(32)
+        key = key_id_for("consensus")
+        owners = {overlay.route(origin, key).owner for origin in range(32)}
+        assert len(owners) == 1
+
+    def test_nonmember_raises(self):
+        with pytest.raises(OverlayError):
+            pastry(4).route(99, 1)
+
+    def test_rejoin_idempotent(self):
+        overlay = pastry(8)
+        overlay.join(3)
+        assert len(overlay) == 8
+
+
+class TestPastryChurn:
+    def test_leave_reassigns_ownership(self):
+        overlay = pastry(32)
+        key = key_id_for("churny-key")
+        owner = overlay.route(0, key).owner
+        overlay.leave(owner)
+        overlay.stabilize()
+        origin = 0 if owner != 0 else 1
+        new_owner = overlay.route(origin, key).owner
+        assert new_owner is not None and new_owner != owner
+        assert new_owner == overlay.true_owner(key)
+
+    def test_staleness_lifecycle(self):
+        overlay = pastry(32)
+        assert overlay.staleness() == 0.0
+        for address in range(8):
+            overlay.leave(address)
+        assert overlay.staleness() > 0.0
+        overlay.stabilize()
+        assert overlay.staleness() == 0.0
+
+    def test_routing_survives_crashes_after_stabilize(self):
+        overlay = pastry(64)
+        for address in range(0, 64, 4):
+            overlay.leave(address)
+        overlay.stabilize()
+        for i in range(20):
+            origin = 1 + (i % 47)
+            if origin not in overlay.members():
+                origin = min(overlay.members())
+            result = overlay.route(origin, key_id_for(f"s{i}"))
+            assert result.success
+
+    def test_neighbors_live_only(self):
+        overlay = pastry(16)
+        overlay.leave(5)
+        for address in overlay.members():
+            assert 5 not in overlay.neighbors(address)
+
+
+class TestPastryConfig:
+    def test_invalid_parameters(self):
+        with pytest.raises(OverlayError):
+            PastryOverlay(bits_per_digit=7)
+        with pytest.raises(OverlayError):
+            PastryOverlay(leaf_set_size=3)
+        with pytest.raises(OverlayError):
+            PastryOverlay(leaf_set_size=0)
+
+    def test_different_digit_bases(self):
+        for bits in (1, 2, 8):
+            overlay = PastryOverlay(bits_per_digit=bits)
+            for address in range(16):
+                overlay.join(address)
+            overlay.stabilize()
+            key = key_id_for("base-test")
+            assert overlay.route(0, key).owner == overlay.true_owner(key)
+
+    def test_scenario_integration(self):
+        scenario = Scenario(
+            ScenarioConfig(
+                num_peers=12, overlay="pastry", shard=ShardSpec(num_peers=12)
+            )
+        )
+        assert scenario.overlay.name == "pastry"
+        assert len(scenario.overlay.members()) == 12
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=2, max_value=30), st.text(min_size=1, max_size=10))
+def test_pastry_ownership_consistent(n, key_name):
+    overlay = pastry(n)
+    key = key_id_for(key_name)
+    owners = {
+        overlay.route(origin, key).owner
+        for origin in range(0, n, max(1, n // 4))
+    }
+    assert owners == {overlay.true_owner(key)}

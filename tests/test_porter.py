@@ -1,0 +1,149 @@
+"""Tests for the Porter stemmer against the published algorithm's examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.porter import PorterStemmer, stem
+
+# (input, expected) pairs taken from Porter's 1980 paper, step by step.
+PAPER_PAIRS = [
+    # Step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # Step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    # Step 1b post-processing
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # Step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # Step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # Step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # Step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # Step 5a
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    # Step 5b
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", PAPER_PAIRS)
+def test_paper_examples(word, expected):
+    assert stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_unchanged(self):
+        for word in ("a", "is", "be", "we"):
+            assert stem(word) == word
+
+    def test_idempotent_on_common_words(self):
+        # Porter is not idempotent in general, but stems of these common
+        # words are fixed points; re-stemming must not drift.
+        for word in ("run", "tag", "peer", "network", "cat"):
+            once = stem(word)
+            assert stem(once) == once
+
+    def test_related_forms_share_a_stem(self):
+        assert stem("tagging") == stem("tagged")
+        assert stem("connection") == stem("connected") == stem("connecting")
+        assert stem("classification") != ""
+
+    def test_instance_and_module_agree(self):
+        stemmer = PorterStemmer()
+        for word in ("caresses", "happiness", "relational"):
+            assert stemmer.stem(word) == stem(word)
+
+    def test_empty_string(self):
+        assert stem("") == ""
+
+
+@given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), max_size=25))
+def test_stem_never_longer_than_input(word):
+    assert len(stem(word)) <= max(len(word), 0) + 1  # step1b may add 'e'
+
+
+@given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), max_size=25))
+def test_stem_is_deterministic(word):
+    assert stem(word) == stem(word)
+
+
+@given(
+    st.text(
+        alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"),
+        min_size=3,
+        max_size=25,
+    )
+)
+def test_stem_output_is_lowercase_alpha(word):
+    result = stem(word)
+    assert result.isalpha() or result == ""
+    assert result == result.lower()

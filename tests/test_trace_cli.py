@@ -1,0 +1,168 @@
+"""Tests for message tracing and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import PhysicalNetwork
+from repro.sim.trace import MessageTrace
+
+
+def make_network():
+    simulator = Simulator(seed=0)
+    network = PhysicalNetwork(simulator)
+    network.register(1, lambda m: None)
+    network.register(2, lambda m: None)
+    network.register(3, lambda m: None)
+    return simulator, network
+
+
+class TestMessageTrace:
+    def test_records_sent_messages(self):
+        simulator, network = make_network()
+        with MessageTrace().attach(network) as trace:
+            network.send(Message(src=1, dst=2, msg_type="a", payload="xx"))
+            network.send(Message(src=2, dst=3, msg_type="b"))
+            simulator.run()
+        assert len(trace) == 2
+        assert trace.records()[0].msg_type == "a"
+        assert trace.records()[0].size_bytes == 42
+
+    def test_detach_restores_send(self):
+        simulator, network = make_network()
+        trace = MessageTrace().attach(network)
+        trace.detach()
+        network.send(Message(src=1, dst=2, msg_type="a"))
+        assert len(trace) == 0
+
+    def test_double_attach_rejected(self):
+        _, network = make_network()
+        trace = MessageTrace().attach(network)
+        with pytest.raises(RuntimeError):
+            trace.attach(network)
+        trace.detach()
+
+    def test_filters(self):
+        simulator, network = make_network()
+        trace = MessageTrace().attach(network)
+        network.send(Message(src=1, dst=2, msg_type="a"))
+        network.send(Message(src=1, dst=3, msg_type="b"))
+        network.send(Message(src=2, dst=3, msg_type="a"))
+        trace.detach()
+        assert len(trace.records(msg_type="a")) == 2
+        assert len(trace.records(src=1)) == 2
+        assert len(trace.records(dst=3)) == 2
+        assert len(trace.records(msg_type="a", src=2)) == 1
+
+    def test_time_window_filter(self):
+        simulator, network = make_network()
+        trace = MessageTrace().attach(network)
+        network.send(Message(src=1, dst=2, msg_type="early"))
+        simulator.run()
+        simulator.schedule(10.0, lambda: network.send(
+            Message(src=1, dst=2, msg_type="late")
+        ))
+        simulator.run()
+        trace.detach()
+        assert [r.msg_type for r in trace.records(since=5.0)] == ["late"]
+
+    def test_timeline_buckets(self):
+        simulator, network = make_network()
+        trace = MessageTrace().attach(network)
+        network.send(Message(src=1, dst=2, msg_type="a"))
+        network.send(Message(src=1, dst=2, msg_type="a"))
+        trace.detach()
+        timeline = trace.timeline(bucket_seconds=1.0)
+        assert timeline[0][1] == 2  # both at t=0
+        with pytest.raises(ValueError):
+            trace.timeline(bucket_seconds=0)
+
+    def test_conversation_matrix(self):
+        simulator, network = make_network()
+        trace = MessageTrace().attach(network)
+        network.send(Message(src=1, dst=2, msg_type="a"))
+        network.send(Message(src=1, dst=2, msg_type="a"))
+        network.send(Message(src=2, dst=1, msg_type="a"))
+        trace.detach()
+        matrix = trace.conversation_matrix()
+        assert matrix[(1, 2)] == 2
+        assert matrix[(2, 1)] == 1
+
+    def test_capacity_bound(self):
+        simulator, network = make_network()
+        trace = MessageTrace(capacity=2).attach(network)
+        for _ in range(5):
+            network.send(Message(src=1, dst=2, msg_type="a"))
+        trace.detach()
+        assert len(trace) == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        simulator, network = make_network()
+        trace = MessageTrace().attach(network)
+        network.send(Message(src=1, dst=2, msg_type="a", payload="xyz"))
+        trace.detach()
+        path = tmp_path / "trace.jsonl"
+        assert trace.export_jsonl(path) == 1
+        loaded = MessageTrace.load_jsonl(path)
+        assert loaded.records()[0] == trace.records()[0]
+
+
+SMALL = ["--users", "5", "--docs", "14", "--tags", "6", "--seed", "1"]
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--algorithm", "local"])
+        assert args.algorithm == "local"
+
+    def test_corpus_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "c.jsonl")
+        code = main(["corpus", path, "--users", "3", "--docs", "5"])
+        assert code == 0
+        assert "wrote 15 documents" in capsys.readouterr().out
+        code = main(
+            ["run", "--algorithm", "local", "--load", path, "--max-eval", "10"]
+        )
+        assert code == 0
+
+    def test_run_local(self, capsys):
+        code = main(["run", "--algorithm", "local", "--max-eval", "10"] + SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[local]" in out and "microF1" in out
+
+    def test_run_with_tuned_thresholds(self, capsys):
+        code = main(
+            ["run", "--algorithm", "local", "--tune-thresholds",
+             "--max-eval", "10"] + SMALL
+        )
+        assert code == 0
+
+    def test_compare_subset(self, capsys):
+        code = main(
+            ["compare", "--algorithms", "local", "popularity",
+             "--max-eval", "10"] + SMALL
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "local" in out and "popularity" in out
+
+    def test_suggest(self, capsys):
+        code = main(
+            ["suggest", "--algorithm", "local", "--count", "2"] + SMALL
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "doc" in out and "true:" in out
+
+    def test_overlay_chord(self, capsys):
+        code = main(["overlay", "--type", "chord", "--size", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chord" in out and "success 100/100" in out
+
+    def test_overlay_kademlia_and_unstructured(self, capsys):
+        assert main(["overlay", "--type", "kademlia", "--size", "16"]) == 0
+        assert main(["overlay", "--type", "unstructured", "--size", "16"]) == 0
