@@ -12,6 +12,8 @@ upload spreads load across super-peers with cheap vector queries; PACE pays
 the broadcast up front and then predicts for free.
 """
 
+import os
+
 import pytest
 
 from repro.bench.harness import ExperimentSetting, build_system
@@ -19,8 +21,15 @@ from repro.bench.reporting import format_table
 
 from _common import write_results
 
-BASE = dict(num_users=12, docs_per_user=40, train_fraction=0.2, seed=0)
-QUERY_COUNT = 30
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+BASE = dict(
+    num_users=6 if _SMOKE else 12,
+    docs_per_user=20 if _SMOKE else 40,
+    train_fraction=0.2,
+    seed=0,
+)
+QUERY_COUNT = 10 if _SMOKE else 30
 
 
 def measure(algorithm: str):

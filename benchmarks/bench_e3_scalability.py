@@ -12,6 +12,9 @@ routes) while PACE's broadcast cost per peer grows linearly — its known
 scalability trade-off.
 """
 
+import os
+import time
+
 import pytest
 
 from repro.bench.harness import ExperimentSetting, run_experiment
@@ -19,8 +22,17 @@ from repro.bench.reporting import format_table
 
 from _common import write_results
 
-SIZES = (6, 12, 18, 24)
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+SIZES = (6, 12) if _SMOKE else (6, 12, 18, 24)
 BASE = dict(docs_per_user=30, train_fraction=0.2, seed=0, max_eval_documents=50)
+
+#: pure-messaging scalability: network sizes for the transport storm.  The
+#: kernel/transport stack is the hot path here (no ML), which is what the
+#: batched event kernel optimizes; 1000 nodes ~ the million-message regime.
+TRANSPORT_SIZES = (100, 250) if _SMOKE else (100, 1000)
+STORM_ROUNDS = 5 if _SMOKE else 20
+STORM_FANOUT = 10
 
 
 def run_all():
@@ -64,3 +76,86 @@ def test_e3_scalability_table(benchmark):
     cempar_growth = cempar[SIZES[-1]][4] / max(1, cempar[SIZES[0]][4])
     pace_growth = pace[SIZES[-1]][4] / max(1, pace[SIZES[0]][4])
     assert cempar_growth < pace_growth
+
+
+# ---------------------------------------------------------------------------
+# Transport-layer scalability: raw simulated-message throughput at large N.
+# ---------------------------------------------------------------------------
+
+
+def run_transport_storm(num_nodes, rounds=STORM_ROUNDS, fanout=STORM_FANOUT,
+                        seed=3):
+    """Drive ``rounds`` same-tick broadcast storms through the transport.
+
+    Every node sends ``fanout`` messages per round in one batched block —
+    the delivery pattern PACE-style propagation generates, minus the ML, so
+    wall-clock isolates the kernel+transport stack.
+    """
+    from repro.sim.engine import Simulator
+    from repro.sim.messages import Message
+    from repro.sim.network import PhysicalNetwork
+    from repro.sim.stats import StatsCollector
+    from repro.sim.transport import Transport
+
+    simulator = Simulator(seed=seed)
+    stats = StatsCollector()
+    network = PhysicalNetwork(simulator, stats=stats)
+    transport = Transport(network, stats=stats)
+    delivered = [0]
+
+    def handler(message):
+        delivered[0] += 1
+
+    for node in range(num_nodes):
+        network.register(node, handler)
+
+    payload = "x" * 160
+    size = 40 + len(payload)
+    for round_index in range(rounds):
+        block = []
+        for src in range(num_nodes):
+            for k in range(fanout):
+                dst = (src + 1 + (round_index * fanout + k) * 7) % num_nodes
+                if dst == src:
+                    dst = (dst + 1) % num_nodes
+                block.append(
+                    Message(src=src, dst=dst, msg_type="storm",
+                            payload=payload, size_bytes=size)
+                )
+        transport.send_batch(block)
+        simulator.run()
+    return stats, delivered[0]
+
+
+def run_transport_rows():
+    rows = []
+    for num_nodes in TRANSPORT_SIZES:
+        start = time.perf_counter()
+        stats, delivered = run_transport_storm(num_nodes)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                num_nodes,
+                stats.total_messages,
+                delivered,
+                round(elapsed, 3),
+                int(stats.total_messages / max(elapsed, 1e-9)),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e3-scalability")
+def test_e3_transport_scalability(benchmark):
+    rows = benchmark.pedantic(run_transport_rows, rounds=1, iterations=1)
+    table = format_table(
+        "E3b  Transport throughput (batched kernel, no ML)",
+        ["nodes", "messages", "delivered", "seconds", "msgs/sec"],
+        rows,
+    )
+    write_results("e3_transport_scalability", table)
+
+    for num_nodes, messages, delivered, _seconds, _rate in rows:
+        expected = num_nodes * STORM_FANOUT * STORM_ROUNDS
+        assert messages == expected
+        assert delivered == expected  # no loss, all nodes up

@@ -27,7 +27,6 @@ from repro.p2pclass.base import (
     TaggedVector,
     binary_problems,
 )
-from repro.sim.messages import Message
 from repro.sim.scenario import Scenario
 
 MSG_DATA_UPLOAD = "central.data_upload"
@@ -81,14 +80,10 @@ class CentralizedTagger(P2PTagClassifier):
             if address == cfg.server:
                 pooled.extend(items)
                 continue
-            message = Message(
-                src=address,
-                dst=cfg.server,
-                msg_type=MSG_DATA_UPLOAD,
-                payload=list(items),
+            upload = self.transport.send(
+                address, cfg.server, MSG_DATA_UPLOAD, list(items)
             )
-            delivered = self.scenario.network.send(message)
-            if delivered and self.scenario.network.is_up(cfg.server):
+            if upload.delivered:
                 pooled.extend(items)
             else:
                 self.scenario.stats.increment("central_upload_lost")
@@ -116,24 +111,18 @@ class CentralizedTagger(P2PTagClassifier):
             # now — the round trip happens later either way).
             self.scenario.stats.increment("central_query_deferred")
         elif origin != cfg.server:
-            query = Message(
-                src=origin, dst=cfg.server, msg_type=MSG_QUERY, payload=vector
-            )
-            reachable = self.scenario.network.send(query) and (
-                self.scenario.network.is_up(cfg.server)
-            )
-            if not reachable:
+            query = self.transport.send(origin, cfg.server, MSG_QUERY, vector)
+            if not query.delivered:
                 # Server unreachable: the centralized system fails closed —
                 # the single point of failure the paper warns about.
                 self.scenario.stats.increment("central_query_lost")
                 return {tag: 0.0 for tag in self.tags}
-            response = Message(
-                src=cfg.server,
-                dst=origin,
-                msg_type=MSG_PREDICTION,
-                payload={t: 0.0 for t in self.tags},
+            self.transport.send(
+                cfg.server,
+                origin,
+                MSG_PREDICTION,
+                {t: 0.0 for t in self.tags},
             )
-            self.scenario.network.send(response)
         self._flush_network()
         scores: Dict[str, float] = {}
         for tag in self.tags:

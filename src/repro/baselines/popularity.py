@@ -15,7 +15,6 @@ from typing import Dict
 
 from repro.ml.sparse import SparseVector
 from repro.p2pclass.base import P2PTagClassifier
-from repro.sim.messages import Message
 
 MSG_COUNTS = "popularity.counts"
 
@@ -33,13 +32,15 @@ class PopularityTagger(P2PTagClassifier):
             for item in items:
                 local.update(item.tags)
             if address != aggregator:
-                message = Message(
-                    src=address,
-                    dst=aggregator,
-                    msg_type=MSG_COUNTS,
-                    payload={tag: count for tag, count in local.items()},
+                outcome = self.transport.send(
+                    address,
+                    aggregator,
+                    MSG_COUNTS,
+                    {tag: count for tag, count in local.items()},
                 )
-                if not self.scenario.network.send(message):
+                # Note: the seed implementation only required the counts to
+                # *leave* the peer (no aggregator-up check); preserved.
+                if not outcome.sent:
                     continue
             counts.update(local)
         self._flush_network()

@@ -76,10 +76,15 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
     )
 
 
+def _overlay_choices() -> tuple:
+    from repro.overlay import overlay_names
+
+    return overlay_names()
+
+
 def _add_system_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--overlay", choices=("chord", "kademlia", "pastry", "unstructured"),
-        default="chord",
+        "--overlay", choices=_overlay_choices(), default="chord",
     )
     parser.add_argument(
         "--churn", choices=("none", "exponential", "weibull", "pareto"),
@@ -143,21 +148,11 @@ def cmd_suggest(args: argparse.Namespace) -> int:
 def cmd_overlay(args: argparse.Namespace) -> int:
     import statistics
 
-    from repro.overlay.chord import ChordOverlay
+    from repro.overlay import make_overlay
     from repro.overlay.idspace import key_id_for
-    from repro.overlay.kademlia import KademliaOverlay
-    from repro.overlay.pastry import PastryOverlay
-    from repro.overlay.unstructured import UnstructuredOverlay
     from repro.sim.visualize import ascii_summary
 
-    if args.type == "chord":
-        overlay = ChordOverlay()
-    elif args.type == "kademlia":
-        overlay = KademliaOverlay(seed=args.seed)
-    elif args.type == "pastry":
-        overlay = PastryOverlay()
-    else:
-        overlay = UnstructuredOverlay(degree=4, seed=args.seed)
+    overlay = make_overlay(args.type, seed=args.seed, degree=4)
     for address in range(args.size):
         overlay.join(address)
     stabilize = getattr(overlay, "stabilize", None)
@@ -230,8 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         "overlay", help="build an overlay and report routing statistics"
     )
     p_overlay.add_argument(
-        "--type", choices=("chord", "kademlia", "pastry", "unstructured"),
-        default="chord",
+        "--type", choices=_overlay_choices(), default="chord",
     )
     p_overlay.add_argument("--size", type=int, default=64)
     p_overlay.add_argument("--seed", type=int, default=0)

@@ -1,9 +1,18 @@
 """P2P overlay networks (P2PDMT "Generate structured/unstructured P2P network").
 
-Structured overlays (:mod:`repro.overlay.chord`, :mod:`repro.overlay.kademlia`)
-provide DHT lookups — CEMPaR locates its super-peers deterministically through
-them.  The unstructured overlay (:mod:`repro.overlay.unstructured`) provides
-flooding/gossip broadcast — PACE propagates models over it.
+Structured overlays (:mod:`repro.overlay.chord`, :mod:`repro.overlay.kademlia`,
+:mod:`repro.overlay.pastry`) provide DHT lookups — CEMPaR locates its
+super-peers deterministically through them.  The unstructured overlay
+(:mod:`repro.overlay.unstructured`) provides flooding/gossip broadcast — PACE
+propagates models over it.  The full mesh (:mod:`repro.overlay.fullmesh`) is
+the idealized one-hop control for ablations.
+
+Every overlay registers itself with the factory registry in
+:mod:`repro.overlay.base`; construct instances through :func:`make_overlay`
+rather than naming classes:
+
+>>> from repro.overlay import make_overlay
+>>> overlay = make_overlay("chord")
 """
 
 from repro.overlay.idspace import (
@@ -15,11 +24,18 @@ from repro.overlay.idspace import (
     xor_distance,
     in_interval,
 )
-from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.base import (
+    Overlay,
+    RouteResult,
+    make_overlay,
+    overlay_names,
+    register_overlay,
+)
 from repro.overlay.chord import ChordOverlay
 from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.pastry import PastryOverlay
 from repro.overlay.unstructured import UnstructuredOverlay, BroadcastResult
+from repro.overlay.fullmesh import FullMeshOverlay
 from repro.overlay.superpeer import SuperPeerDirectory
 
 __all__ = [
@@ -32,10 +48,14 @@ __all__ = [
     "in_interval",
     "Overlay",
     "RouteResult",
+    "make_overlay",
+    "overlay_names",
+    "register_overlay",
     "ChordOverlay",
     "KademliaOverlay",
     "PastryOverlay",
     "UnstructuredOverlay",
+    "FullMeshOverlay",
     "BroadcastResult",
     "SuperPeerDirectory",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import OverlayError
 
@@ -67,3 +67,42 @@ class Overlay(ABC):
     def require_member(self, address: int) -> None:
         if address not in self.members():
             raise OverlayError(f"node {address} is not an overlay member")
+
+
+# ---------------------------------------------------------------------------
+# Registry: every overlay registers a factory so scenarios, benchmarks, and
+# the CLI construct overlays through one code path (make_overlay) instead of
+# hand-rolled if/elif chains.
+# ---------------------------------------------------------------------------
+
+OverlayFactory = Callable[..., Overlay]
+
+_OVERLAY_REGISTRY: Dict[str, OverlayFactory] = {}
+
+
+def register_overlay(name: str, factory: OverlayFactory) -> None:
+    """Register ``factory`` under ``name`` (last registration wins).
+
+    Factories accept keyword configuration (``seed``, ``degree``, ...) and
+    ignore what they do not use, so one call signature covers every overlay.
+    """
+    _OVERLAY_REGISTRY[name] = factory
+
+
+def overlay_names() -> Tuple[str, ...]:
+    """Registered overlay names, sorted for stable CLI/choices output."""
+    return tuple(sorted(_OVERLAY_REGISTRY))
+
+
+def make_overlay(name: str, **config) -> Overlay:
+    """Construct a registered overlay by name.
+
+    ``config`` keywords (``seed``, ``degree``, ...) are forwarded to the
+    factory; unknown names raise :class:`OverlayError` listing the registry.
+    """
+    factory = _OVERLAY_REGISTRY.get(name)
+    if factory is None:
+        raise OverlayError(
+            f"unknown overlay {name!r}; registered: {', '.join(overlay_names())}"
+        )
+    return factory(**config)

@@ -14,7 +14,7 @@ import bisect
 from typing import Dict, List, Optional
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.base import Overlay, RouteResult, register_overlay
 from repro.overlay.idspace import ID_BITS, ID_SPACE, in_interval, node_id_for
 
 
@@ -204,3 +204,6 @@ class ChordOverlay(Overlay):
                     best = entry
                     best_id = entry_id
         return best
+
+
+register_overlay("chord", lambda **config: ChordOverlay())

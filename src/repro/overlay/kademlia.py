@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.base import Overlay, RouteResult, register_overlay
 from repro.overlay.idspace import ID_BITS, node_id_for, xor_distance
 
 
@@ -185,3 +185,8 @@ class KademliaOverlay(Overlay):
         if best_live is None:
             return RouteResult(key=key, owner=None, path=path, success=False)
         return RouteResult(key=key, owner=best_live, path=path)
+
+
+register_overlay(
+    "kademlia", lambda **config: KademliaOverlay(seed=config.get("seed", 0))
+)

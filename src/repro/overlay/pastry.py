@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.base import Overlay, RouteResult, register_overlay
 from repro.overlay.idspace import ID_BITS, node_id_for
 
 
@@ -233,3 +233,6 @@ class PastryOverlay(Overlay):
             path.append(next_hop)
             current = next_hop
         return RouteResult(key=key, owner=None, path=path, success=False)
+
+
+register_overlay("pastry", lambda **config: PastryOverlay())

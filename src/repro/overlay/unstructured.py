@@ -14,7 +14,7 @@ from typing import Dict, List, Set
 import numpy as np
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult
+from repro.overlay.base import Overlay, RouteResult, register_overlay
 from repro.overlay.idspace import node_id_for
 
 
@@ -181,3 +181,11 @@ class UnstructuredOverlay(Overlay):
             if len(result.reached) == len(self._edges):
                 break
         return result
+
+
+register_overlay(
+    "unstructured",
+    lambda **config: UnstructuredOverlay(
+        degree=config.get("degree", 4), seed=config.get("seed", 0)
+    ),
+)

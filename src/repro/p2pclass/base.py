@@ -135,6 +135,9 @@ class P2PTagClassifier(ABC):
         if not self.tags:
             raise ConfigurationError("no tags to learn")
         self._trained = False
+        #: the one sanctioned path to the wire — protocols must not talk to
+        #: the PhysicalNetwork directly (uniform charging and batching).
+        self.transport = scenario.transport
         # Register every peer on the physical network so traffic flows.
         self.nodes: Dict[int, SimNode] = {
             address: SimNode(address, scenario.network)
@@ -213,8 +216,7 @@ class P2PTagClassifier(ABC):
         reschedule forever), so we advance a bounded settle window instead —
         long enough for any in-flight message at the configured latency.
         """
-        simulator = self.scenario.simulator
         if self.scenario.churn_model.churns:
-            simulator.run(until=simulator.now + settle_time)
+            self.transport.flush(settle_time)
         else:
-            simulator.run_until_idle()
+            self.transport.flush()

@@ -28,7 +28,6 @@ from repro.overlay.superpeer import SuperPeerDirectory
 from repro.p2pclass.base import P2PTagClassifier, PeerData, binary_problems
 from repro.p2pclass.cascade import CascadeModel, cascade_merge
 from repro.p2pclass.voting import weighted_score
-from repro.sim.messages import Message
 from repro.sim.scenario import Scenario
 
 MSG_MODEL_UPLOAD = "cempar.model_upload"
@@ -129,24 +128,17 @@ class CemparClassifier(P2PTagClassifier):
     def _send_model(
         self, address: int, tag: str, region: int, model: KernelSVMModel
     ) -> None:
-        route = self.directory.locate(address, tag, region)
-        if not route.success or route.owner is None:
+        outcome = self.transport.route_and_send(
+            address,
+            self.directory.key_for(tag, region),
+            MSG_MODEL_UPLOAD,
+            model,
+        )
+        if outcome.lookup_failed:
             self.scenario.stats.increment("cempar_upload_lookup_failed")
             return
-        owner = route.owner
-        if owner == address:
-            # The peer *is* the super-peer: no network hop, direct handoff.
-            self._inbox.setdefault((tag, region), []).append(model)
-            return
-        message = Message(
-            src=address,
-            dst=owner,
-            msg_type=MSG_MODEL_UPLOAD,
-            payload=model,
-            hops=max(1, route.hops),
-        )
-        delivered = self.scenario.network.send(message)
-        if delivered and self.scenario.network.is_up(owner):
+        if outcome.delivered:
+            # Loopback when the peer *is* the super-peer: direct handoff.
             self._inbox.setdefault((tag, region), []).append(model)
         else:
             self.scenario.stats.increment("cempar_upload_lost")
@@ -200,26 +192,23 @@ class CemparClassifier(P2PTagClassifier):
             if not regional_scores:
                 continue
             if owner != origin:
-                query = Message(
-                    src=origin,
-                    dst=owner,
-                    msg_type=MSG_QUERY,
-                    payload=vector,
+                query = self.transport.send(
+                    origin,
+                    owner,
+                    MSG_QUERY,
+                    vector,
                     hops=max(1, roles[0][2]),
                 )
-                if not self.scenario.network.send(query) or not (
-                    self.scenario.network.is_up(owner)
-                ):
+                if not query.delivered:
                     self.scenario.stats.increment("cempar_query_lost")
                     continue
-                response = Message(
-                    src=owner,
-                    dst=origin,
-                    msg_type=MSG_PREDICTION,
-                    payload={t: 0.0 for t in regional_scores},
+                self.transport.send(
+                    owner,
+                    origin,
+                    MSG_PREDICTION,
+                    {t: 0.0 for t in regional_scores},
                     hops=1,
                 )
-                self.scenario.network.send(response)
             for tag, (probability, weight) in regional_scores.items():
                 votes[tag].append((probability, weight))
         self._flush_network()

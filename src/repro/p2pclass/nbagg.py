@@ -26,7 +26,6 @@ from repro.ml.naive_bayes import MultinomialNB, NBSufficientStats
 from repro.ml.sparse import SparseVector
 from repro.overlay.superpeer import SuperPeerDirectory
 from repro.p2pclass.base import P2PTagClassifier, PeerData
-from repro.sim.messages import Message
 from repro.sim.scenario import Scenario
 
 MSG_STATS_UPLOAD = "nbagg.stats_upload"
@@ -121,29 +120,21 @@ class NBAggClassifier(P2PTagClassifier):
                 self._send_stats(address, tag, stats)
 
     def _send_stats(self, address: int, tag: str, stats: NBSufficientStats) -> None:
-        route = self.directory.locate(address, tag, 0)
-        if not route.success or route.owner is None:
+        outcome = self.transport.route_and_send(
+            address, self.directory.key_for(tag, 0), MSG_STATS_UPLOAD, stats
+        )
+        if outcome.lookup_failed:
             self.scenario.stats.increment("nbagg_upload_lookup_failed")
             return
-        owner = route.owner
-        if owner != address:
-            message = Message(
-                src=address,
-                dst=owner,
-                msg_type=MSG_STATS_UPLOAD,
-                payload=stats,
-                hops=max(1, route.hops),
-            )
-            delivered = self.scenario.network.send(message)
-            if not (delivered and self.scenario.network.is_up(owner)):
-                self.scenario.stats.increment("nbagg_upload_lost")
-                return
+        if not outcome.delivered:
+            self.scenario.stats.increment("nbagg_upload_lost")
+            return
         aggregate = self._aggregated.get(tag)
         if aggregate is None:
             self._aggregated[tag] = stats
         else:
             aggregate.merge(stats)
-        self._holder[tag] = owner
+        self._holder[tag] = outcome.route.owner
 
     def _build_models(self) -> None:
         for tag, stats in sorted(self._aggregated.items()):
@@ -210,25 +201,13 @@ class NBAggClassifier(P2PTagClassifier):
                 continue
             owner = route.owner
             if owner != origin and owner not in contacted:
-                query = Message(
-                    src=origin,
-                    dst=owner,
-                    msg_type=MSG_QUERY,
-                    payload=vector,
-                    hops=max(1, route.hops),
+                query = self.transport.send(
+                    origin, owner, MSG_QUERY, vector, hops=max(1, route.hops)
                 )
-                ok = self.scenario.network.send(query) and (
-                    self.scenario.network.is_up(owner)
-                )
-                contacted[owner] = ok
-                if ok:
-                    self.scenario.network.send(
-                        Message(
-                            src=owner,
-                            dst=origin,
-                            msg_type=MSG_PREDICTION,
-                            payload={tag: 0.0},
-                        )
+                contacted[owner] = query.delivered
+                if query.delivered:
+                    self.transport.send(
+                        owner, origin, MSG_PREDICTION, {tag: 0.0}
                     )
             if owner != origin and not contacted.get(owner, False):
                 self.scenario.stats.increment("nbagg_query_lost")

@@ -29,7 +29,6 @@ from repro.ml.lsh import RandomHyperplaneLSH
 from repro.ml.sparse import SparseVector
 from repro.p2pclass.base import P2PTagClassifier, PeerData, binary_problems
 from repro.p2pclass.voting import weighted_score
-from repro.sim.messages import Message
 from repro.sim.scenario import Scenario
 
 MSG_MODEL_BROADCAST = "pace.model_broadcast"
@@ -168,11 +167,12 @@ class PaceClassifier(P2PTagClassifier):
     def _propagate(self, bundles: Dict[int, PaceModelBundle]) -> None:
         """Each bundle travels to every other live peer.
 
-        Charged as unicast to each member; on unstructured overlays the flood
-        primitive's message count (edge crossings) is charged instead, which
-        is *more* than the member count — flooding is redundant by design.
+        One :meth:`Transport.broadcast` per bundle: the flood primitive
+        supplies the recipient set on unstructured overlays (its edge
+        crossings exceed the member count — flooding is redundant by design,
+        and the excess is charged), unicast to every member otherwise.  The
+        whole block is batch-delivered with the bundle sized once.
         """
-        flood = getattr(self.scenario.overlay, "flood", None)
         num_peers = max(1, len(bundles))
         for address, bundle in sorted(bundles.items()):
             self._advance(
@@ -182,28 +182,18 @@ class PaceClassifier(P2PTagClassifier):
                     )
                 )
             )
-            members = set(self.scenario.overlay.members())
-            if address not in members:
+            if address not in set(self.scenario.overlay.members()):
                 self.scenario.stats.increment("pace_broadcast_skipped")
                 continue
-            if callable(flood):
-                result = flood(address)
-                recipients = sorted(result.reached - {address})
-                # Charge redundant flood edges beyond the useful deliveries.
-                extra = max(0, result.messages - len(recipients))
-                if extra:
-                    self.scenario.stats.increment("pace_flood_redundant", extra)
-            else:
-                recipients = sorted(members - {address})
-            for recipient in recipients:
-                message = Message(
-                    src=address,
-                    dst=recipient,
-                    msg_type=MSG_MODEL_BROADCAST,
-                    payload=bundle,
+            result = self.transport.broadcast(
+                address, MSG_MODEL_BROADCAST, bundle
+            )
+            if result.redundant_messages:
+                self.scenario.stats.increment(
+                    "pace_flood_redundant", result.redundant_messages
                 )
-                delivered = self.scenario.network.send(message)
-                if delivered and self.scenario.network.is_up(recipient):
+            for recipient, outcome in result.outcomes:
+                if outcome.delivered:
                     self._store_bundle(recipient, bundle)
             # A peer also indexes its own models (no message).
             self._store_bundle(address, bundle)

@@ -16,7 +16,8 @@ discrete-event replacement providing the same observables:
 
 from repro.sim.engine import Simulator, Event
 from repro.sim.messages import Message, payload_size
-from repro.sim.network import PhysicalNetwork, LatencyModel
+from repro.sim.network import PhysicalNetwork, LatencyModel, pair_mix64, pair_seed
+from repro.sim.transport import Transport, Outcome, BroadcastOutcome
 from repro.sim.churn import (
     ChurnModel,
     NoChurn,
@@ -39,6 +40,11 @@ __all__ = [
     "payload_size",
     "PhysicalNetwork",
     "LatencyModel",
+    "pair_mix64",
+    "pair_seed",
+    "Transport",
+    "Outcome",
+    "BroadcastOutcome",
     "ChurnModel",
     "NoChurn",
     "ExponentialChurn",

@@ -1,7 +1,13 @@
 """Discrete-event simulation kernel.
 
-A classic heap-based event loop with a virtual clock.  Determinism is a hard
-requirement (experiments must be reproducible bit-for-bit), so:
+A heap-based event loop with a virtual clock, engineered for million-message
+runs: the heap holds plain ``(time, sequence, callback, args, handle)``
+tuples (no per-event dataclass), the pending count is a live counter rather
+than a queue scan, and :meth:`Simulator.schedule_batch` bulk-schedules whole
+delivery blocks without allocating a handle per event.
+
+Determinism is a hard requirement (experiments must be reproducible
+bit-for-bit), so:
 
 - ties in event time are broken by a monotonically increasing sequence
   number, never by object identity;
@@ -13,29 +19,50 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 
-EventCallback = Callable[[], None]
+EventCallback = Callable[..., None]
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordering is (time, sequence)."""
+    """Handle for a scheduled callback.
 
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    The kernel stores bare tuples in its heap; this handle exists so callers
+    can cancel an event or inspect its scheduled time.  Cancellation flips a
+    flag the run loop checks when the entry surfaces — O(1), no heap surgery.
+    """
+
+    __slots__ = ("time", "sequence", "label", "cancelled", "fired", "_sim")
+
+    def __init__(
+        self, time: float, sequence: int, label: str, sim: "Simulator"
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.label = label
+        self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event as void; the kernel will skip it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired:
+            self._sim._pending -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time} seq={self.sequence} {state} {self.label!r})"
+
+
+#: heap entry layout: (time, sequence, callback, args, handle-or-None)
+_QueueEntry = Tuple[float, int, EventCallback, tuple, Optional[Event]]
 
 
 class Simulator:
@@ -48,10 +75,11 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: List[Event] = []
+        self._queue: List[_QueueEntry] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._pending = 0
         self.rng = np.random.default_rng(seed)
 
     @property
@@ -65,32 +93,84 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Live (non-cancelled) queued events — O(1), maintained counter."""
+        return self._pending
 
     def schedule(
-        self, delay: float, callback: EventCallback, label: str = ""
+        self,
+        delay: float,
+        callback: EventCallback,
+        label: str = "",
+        args: tuple = (),
     ) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Passing ``args`` instead of closing over state avoids building a
+        closure per event on hot paths.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            time=self._now + delay,
-            sequence=next(self._sequence),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        sequence = next(self._sequence)
+        event = Event(time, sequence, label, self)
+        heapq.heappush(self._queue, (time, sequence, callback, args, event))
+        self._pending += 1
         return event
 
     def schedule_at(
-        self, time: float, callback: EventCallback, label: str = ""
+        self, time: float, callback: EventCallback, label: str = "", args: tuple = ()
     ) -> Event:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} < now {self._now}"
             )
-        return self.schedule(time - self._now, callback, label)
+        return self.schedule(time - self._now, callback, label, args)
+
+    def schedule_batch(
+        self,
+        delays: Sequence[float],
+        callback: EventCallback,
+        args_seq: Optional[Iterable[tuple]] = None,
+    ) -> int:
+        """Bulk-schedule one callback over a block of delays.
+
+        ``args_seq`` supplies per-event argument tuples (e.g. one message per
+        delivery); when omitted the callback runs with no arguments.  No
+        :class:`Event` handles are allocated — batch events cannot be
+        cancelled individually, which is exactly right for in-flight message
+        deliveries.  Returns the number of events scheduled.
+
+        For large blocks the queue is extended and re-heapified in one O(n+k)
+        pass instead of k O(log n) sifts.
+        """
+        now = self._now
+        queue = self._queue
+        counter = self._sequence
+        if args_seq is None:
+            entries = [
+                (now + delay, next(counter), callback, (), None)
+                for delay in delays
+            ]
+        else:
+            entries = [
+                (now + delay, next(counter), callback, args, None)
+                for delay, args in zip(delays, args_seq)
+            ]
+        for entry in entries:
+            if entry[0] < now:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={entry[0] - now})"
+                )
+        if len(entries) > 8 and len(entries) >= len(queue):
+            queue.extend(entries)
+            heapq.heapify(queue)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(queue, entry)
+        self._pending += len(entries)
+        return len(entries)
 
     def run(
         self,
@@ -103,20 +183,25 @@ class Simulator:
         queued); ``max_events`` bounds the number of callbacks executed.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._queue[0]
-            if until is not None and event.time > until:
+            time = queue[0][0]
+            if until is not None and time > until:
                 self._now = until
                 break
-            heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
+            _, _, callback, args, handle = pop(queue)
+            if handle is not None:
+                if handle.cancelled:
+                    continue
+                handle.fired = True
+            if time < self._now:
                 raise SimulationError("event queue time went backwards")
-            self._now = event.time
-            event.callback()
+            self._pending -= 1
+            self._now = time
+            callback(*args)
             executed += 1
             self._events_processed += 1
         else:
@@ -135,4 +220,8 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (used between experiment phases)."""
+        for _, _, _, _, handle in self._queue:
+            if handle is not None and not handle.cancelled:
+                handle.fired = True  # a cleared event can no longer cancel
         self._queue.clear()
+        self._pending = 0

@@ -19,9 +19,12 @@ _message_ids = itertools.count(1)
 def payload_size(payload: Any) -> int:
     """Estimated serialized size of ``payload`` in bytes.
 
-    Rules: None=0, bool/int/float=8, str=len (UTF-8-ish), bytes=len,
-    containers = sum of elements (+2 per dict entry for framing), and any
-    object with ``wire_size()`` answers for itself.
+    Rules: None=0, bool=1 (a compact encoding needs one byte, not a word),
+    int/float=8, str=len of its UTF-8 encoding, bytes=len, containers = sum
+    of elements (+2 framing per list/tuple/set and per dict entry), and any
+    object with ``wire_size()`` answers for itself.  Note ``bool`` is checked
+    before ``int`` — ``True`` counts 1 byte even though it is an ``int``
+    subclass.
     """
     if payload is None:
         return 0

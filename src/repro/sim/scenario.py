@@ -12,10 +12,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
+from repro.overlay import make_overlay, overlay_names
 from repro.overlay.base import Overlay
-from repro.overlay.chord import ChordOverlay
-from repro.overlay.kademlia import KademliaOverlay
-from repro.overlay.unstructured import UnstructuredOverlay
 from repro.sim.churn import (
     ChurnDriver,
     ChurnModel,
@@ -28,6 +26,7 @@ from repro.sim.distribution import ShardSpec
 from repro.sim.engine import Simulator
 from repro.sim.network import LatencyModel, PhysicalNetwork
 from repro.sim.stats import StatsCollector
+from repro.sim.transport import Transport
 
 
 @dataclass
@@ -35,7 +34,7 @@ class ScenarioConfig:
     """Everything needed to reproduce one simulated P2P environment."""
 
     num_peers: int = 32
-    overlay: str = "chord"  # "chord" | "kademlia" | "pastry" | "unstructured"
+    overlay: str = "chord"  # any name in repro.overlay.overlay_names()
     churn: str = "none"  # "none" | "exponential" | "weibull" | "pareto"
     mean_session: float = 600.0
     mean_downtime: float = 60.0
@@ -50,7 +49,7 @@ class ScenarioConfig:
     def validate(self) -> None:
         if self.num_peers <= 0:
             raise ConfigurationError("num_peers must be positive")
-        if self.overlay not in ("chord", "kademlia", "pastry", "unstructured"):
+        if self.overlay not in overlay_names():
             raise ConfigurationError(f"unknown overlay {self.overlay!r}")
         if self.churn not in ("none", "exponential", "weibull", "pareto"):
             raise ConfigurationError(f"unknown churn model {self.churn!r}")
@@ -75,15 +74,9 @@ class ScenarioConfig:
         )
 
     def build_overlay(self) -> Overlay:
-        if self.overlay == "chord":
-            return ChordOverlay()
-        if self.overlay == "kademlia":
-            return KademliaOverlay(seed=self.seed)
-        if self.overlay == "pastry":
-            from repro.overlay.pastry import PastryOverlay
-
-            return PastryOverlay()
-        return UnstructuredOverlay(degree=self.unstructured_degree, seed=self.seed)
+        return make_overlay(
+            self.overlay, seed=self.seed, degree=self.unstructured_degree
+        )
 
 
 class Scenario:
@@ -109,6 +102,9 @@ class Scenario:
             stats=self.stats,
         )
         self.overlay = config.build_overlay()
+        self.transport = Transport(
+            self.network, overlay=self.overlay, stats=self.stats
+        )
         self.peer_addresses: List[int] = list(range(config.num_peers))
         for address in self.peer_addresses:
             self.overlay.join(address)
@@ -163,20 +159,17 @@ class Scenario:
         Every live node probes a handful of neighbours (successor pings,
         bucket refreshes).  The table repair itself is computed synchronously
         (DESIGN.md §5); this keeps its *cost* visible in every experiment
-        that runs under churn.
+        that runs under churn.  Probes are modelled-only traffic, charged
+        through the transport so the accounting matches real messages.
         """
-        from repro.sim.messages import Message
-
         for address in self.overlay.members():
             neighbors = self.overlay.neighbors(address)
             for neighbor in neighbors[: self.MAINTENANCE_PROBES_PER_NODE]:
-                self.stats.record_message(
-                    Message(
-                        src=address,
-                        dst=neighbor,
-                        msg_type="overlay.maintenance",
-                        size_bytes=self.MAINTENANCE_PROBE_BYTES,
-                    )
+                self.transport.charge(
+                    src=address,
+                    dst=neighbor,
+                    msg_type="overlay.maintenance",
+                    size_bytes=self.MAINTENANCE_PROBE_BYTES,
                 )
 
     # ------------------------------------------------------------------

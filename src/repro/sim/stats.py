@@ -67,11 +67,34 @@ class StatsCollector:
     # -- traffic -----------------------------------------------------------
 
     def record_message(self, message: Message) -> None:
+        total = message.total_bytes()
         self.messages_by_type[message.msg_type] += 1
-        self.bytes_by_type[message.msg_type] += message.total_bytes()
+        self.bytes_by_type[message.msg_type] += total
         self.hops_by_type[message.msg_type] += message.hops
-        self.per_peer_bytes[message.src] += message.total_bytes()
+        self.per_peer_bytes[message.src] += total
         self.per_peer_received[message.dst] += message.size_bytes
+
+    def record_traffic(
+        self,
+        msg_type: str,
+        size_bytes: int,
+        hops: int = 1,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> None:
+        """Account one message's traffic without a :class:`Message` object.
+
+        Same arithmetic as :meth:`record_message` — used for modelled-only
+        costs (maintenance probes) so they need no per-probe allocation.
+        """
+        total = size_bytes * max(1, hops)
+        self.messages_by_type[msg_type] += 1
+        self.bytes_by_type[msg_type] += total
+        self.hops_by_type[msg_type] += hops
+        if src is not None:
+            self.per_peer_bytes[src] += total
+        if dst is not None:
+            self.per_peer_received[dst] += size_bytes
 
     @property
     def total_messages(self) -> int:

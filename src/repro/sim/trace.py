@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.sim.messages import Message
 from repro.sim.network import PhysicalNetwork
@@ -42,16 +42,16 @@ class TraceRecord:
 class MessageTrace:
     """Records every message sent through a :class:`PhysicalNetwork`.
 
-    Attach with :meth:`attach`; detach restores the network's original
-    ``send``.  Recording happens for *sent* messages whether or not they are
-    later dropped — the same convention the stats collector uses.
+    Attach with :meth:`attach`; the trace registers as a send listener so it
+    sees unicast and batched sends alike.  Recording happens for *sent*
+    messages whether or not they are later dropped — the same convention the
+    stats collector uses.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         self._records: List[TraceRecord] = []
         self._capacity = capacity
         self._network: Optional[PhysicalNetwork] = None
-        self._original_send: Optional[Callable[[Message], bool]] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -59,20 +59,17 @@ class MessageTrace:
         if self._network is not None:
             raise RuntimeError("trace is already attached")
         self._network = network
-        self._original_send = network.send
-
-        def traced_send(message: Message) -> bool:
-            self._record(network.simulator.now, message)
-            return self._original_send(message)
-
-        network.send = traced_send  # type: ignore[method-assign]
+        network.add_send_listener(self._on_send)
         return self
 
     def detach(self) -> None:
-        if self._network is not None and self._original_send is not None:
-            self._network.send = self._original_send  # type: ignore[method-assign]
+        if self._network is not None:
+            self._network.remove_send_listener(self._on_send)
         self._network = None
-        self._original_send = None
+
+    def _on_send(self, message: Message) -> None:
+        assert self._network is not None
+        self._record(self._network.simulator.now, message)
 
     def __enter__(self) -> "MessageTrace":
         return self

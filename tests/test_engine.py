@@ -131,3 +131,81 @@ class TestRunControl:
         a = Simulator(seed=42).rng.random()
         b = Simulator(seed=42).rng.random()
         assert a == b
+
+
+class TestCallbackArgs:
+    def test_args_passed_without_closure(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, args=("payload",))
+        sim.run()
+        assert hits == ["payload"]
+
+
+class TestScheduleBatch:
+    def test_batch_interleaves_with_singles(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.5, lambda: order.append("single"))
+        sim.schedule_batch(
+            [1.0, 3.0, 2.0], order.append, [("a",), ("c",), ("b",)]
+        )
+        sim.run()
+        assert order == ["a", "b", "single", "c"]
+
+    def test_batch_ties_keep_submission_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_batch([1.0] * 4, order.append, [(i,) for i in range(4)])
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_batch_counts_as_pending(self):
+        sim = Simulator()
+        scheduled = sim.schedule_batch([1.0, 2.0], lambda: None)
+        assert scheduled == 2
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_large_batch_heapify_path(self):
+        # Batches larger than the live queue take the extend+heapify path;
+        # ordering must be identical to one-by-one pushes.
+        sim = Simulator()
+        order = []
+        delays = [float((i * 7) % 20 + 1) for i in range(50)]
+        sim.schedule_batch(delays, order.append, [(d,) for d in delays])
+        sim.run()
+        assert order == sorted(delays) != delays
+
+    def test_negative_batch_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([1.0, -0.5], lambda: None)
+
+
+class TestPendingCounter:
+    def test_pending_is_live_counter(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        events[0].cancel()
+        events[0].cancel()  # idempotent
+        assert sim.pending_events == 4
+        sim.run(max_events=2)
+        assert sim.pending_events == 2
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_clear_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        event.cancel()
+        assert sim.pending_events == 0

@@ -26,6 +26,15 @@ class TestPayloadSize:
         payload = {"vectors": [SparseVector({1: 1.0}), SparseVector({2: 2.0})]}
         assert payload_size(payload) == 7 + (12 + 12 + 2) + 2
 
+    def test_bool_is_one_byte_not_eight(self):
+        # Regression: the docstring used to claim bool=8 while the code
+        # returned 1.  The documented rule is now bool=1 (checked before the
+        # int branch, since bool subclasses int); pin both truth values.
+        assert payload_size(True) == 1
+        assert payload_size(False) == 1
+        assert payload_size([True, False]) == 1 + 1 + 2
+        assert payload_size(1) == 8  # the int 1 still costs a full word
+
     def test_object_fallback_uses_public_attrs(self):
         class Thing:
             def __init__(self):
