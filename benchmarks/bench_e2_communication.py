@@ -71,18 +71,19 @@ def run_all():
 @pytest.mark.benchmark(group="e2-communication")
 def test_e2_communication_table(benchmark):
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    headers = [
+        "algorithm",
+        "train_msgs",
+        "train_bytes",
+        "bytes/query",
+        "max_rx_share",
+    ]
     table = format_table(
         f"E2  Communication cost (training + {QUERY_COUNT} predictions)",
-        [
-            "algorithm",
-            "train_msgs",
-            "train_bytes",
-            "bytes/query",
-            "max_rx_share",
-        ],
+        headers,
         rows,
     )
-    write_results("e2_communication", table)
+    write_results("e2_communication", table, headers=headers, rows=rows)
 
     by_algorithm = {row[0]: row for row in rows}
     # The centralized server is the bottleneck; P2P spreads load.

@@ -27,6 +27,7 @@ from repro.p2pclass.base import (
     TaggedVector,
     binary_problems,
 )
+from repro.sim.messages import Message
 from repro.sim.scenario import Scenario
 
 MSG_DATA_UPLOAD = "central.data_upload"
@@ -74,16 +75,30 @@ class CentralizedTagger(P2PTagClassifier):
     def train(self) -> None:
         cfg = self.config
         pooled: List[TaggedVector] = []
+        # The upload round is one bulk-scheduled delivery block: every
+        # non-server peer's upload goes out in a single send_batch (the
+        # batched path consumes the RNG stream bit-identically to the old
+        # per-peer sequential sends, so replay is unchanged).
+        uploads: List[Tuple[List[TaggedVector], Optional[Message]]] = []
         for address, items in sorted(self.peer_data.items()):
             if not items:
                 continue
-            if address == cfg.server:
-                pooled.extend(items)
-                continue
-            upload = self.transport.send(
-                address, cfg.server, MSG_DATA_UPLOAD, list(items)
+            message = None
+            if address != cfg.server:
+                message = Message(
+                    src=address,
+                    dst=cfg.server,
+                    msg_type=MSG_DATA_UPLOAD,
+                    payload=list(items),
+                )
+            uploads.append((items, message))
+        outcomes = iter(
+            self.transport.send_batch(
+                [message for _, message in uploads if message is not None]
             )
-            if upload.delivered:
+        )
+        for items, message in uploads:
+            if message is None or next(outcomes).delivered:
                 pooled.extend(items)
             else:
                 self.scenario.stats.increment("central_upload_lost")

@@ -11,10 +11,11 @@ broadcast back — negligible, charged anyway for honesty.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 from repro.ml.sparse import SparseVector
 from repro.p2pclass.base import P2PTagClassifier
+from repro.sim.messages import Message
 
 MSG_COUNTS = "popularity.counts"
 
@@ -27,21 +28,33 @@ class PopularityTagger(P2PTagClassifier):
     def train(self) -> None:
         aggregator = min(self.scenario.peer_addresses)
         counts: Counter = Counter()
+        # One bulk-scheduled delivery block for the whole counting round
+        # (send_batch consumes the RNG stream bit-identically to the old
+        # per-peer sequential sends).
+        pending: List[Tuple[Counter, Optional[Message]]] = []
         for address, items in sorted(self.peer_data.items()):
             local: Counter = Counter()
             for item in items:
                 local.update(item.tags)
+            message = None
             if address != aggregator:
-                outcome = self.transport.send(
-                    address,
-                    aggregator,
-                    MSG_COUNTS,
-                    {tag: count for tag, count in local.items()},
+                message = Message(
+                    src=address,
+                    dst=aggregator,
+                    msg_type=MSG_COUNTS,
+                    payload={tag: count for tag, count in local.items()},
                 )
-                # Note: the seed implementation only required the counts to
-                # *leave* the peer (no aggregator-up check); preserved.
-                if not outcome.sent:
-                    continue
+            pending.append((local, message))
+        outcomes = iter(
+            self.transport.send_batch(
+                [message for _, message in pending if message is not None]
+            )
+        )
+        for local, message in pending:
+            # Note: the seed implementation only required the counts to
+            # *leave* the peer (no aggregator-up check); preserved.
+            if message is not None and not next(outcomes).sent:
+                continue
             counts.update(local)
         self._flush_network()
         total = sum(counts.values()) or 1

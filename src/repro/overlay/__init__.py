@@ -5,7 +5,9 @@ Structured overlays (:mod:`repro.overlay.chord`, :mod:`repro.overlay.kademlia`,
 super-peers deterministically through them.  The unstructured overlay
 (:mod:`repro.overlay.unstructured`) provides flooding/gossip broadcast — PACE
 propagates models over it.  The full mesh (:mod:`repro.overlay.fullmesh`) is
-the idealized one-hop control for ablations.
+the idealized one-hop control for ablations, and the two-tier super-peer
+overlay (:mod:`repro.overlay.superpeer`) concentrates key ownership on a
+deterministically elected core with ≤2-hop lookups.
 
 Every overlay registers itself with the factory registry in
 :mod:`repro.overlay.base`; construct instances through :func:`make_overlay`
@@ -36,7 +38,7 @@ from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.pastry import PastryOverlay
 from repro.overlay.unstructured import UnstructuredOverlay, BroadcastResult
 from repro.overlay.fullmesh import FullMeshOverlay
-from repro.overlay.superpeer import SuperPeerDirectory
+from repro.overlay.superpeer import SuperPeerDirectory, SuperPeerOverlay
 
 __all__ = [
     "ID_BITS",
@@ -58,4 +60,5 @@ __all__ = [
     "FullMeshOverlay",
     "BroadcastResult",
     "SuperPeerDirectory",
+    "SuperPeerOverlay",
 ]

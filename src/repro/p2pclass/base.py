@@ -9,9 +9,19 @@ pluggable interface P2PDocTagger trains and queries.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -35,6 +45,10 @@ class TaggedVector:
 
 
 PeerData = Dict[int, List[TaggedVector]]
+
+#: set to "1" to force the legacy sequential-stagger round driver — the
+#: equivalence harness runs both drivers and compares stats byte-for-byte.
+SCALAR_ROUNDS_ENV = "REPRO_SCALAR_ROUNDS"
 
 
 def corpus_to_peer_data(
@@ -135,6 +149,13 @@ class P2PTagClassifier(ABC):
         if not self.tags:
             raise ConfigurationError("no tags to learn")
         self._trained = False
+        #: debug/equivalence flag: drive training rounds through the legacy
+        #: sequential ``_advance`` stagger loop instead of the kernel's
+        #: scheduled-batch pattern.  Activation times, RNG consumption, and
+        #: stats are bit-identical either way (see :meth:`_run_staggered_round`).
+        self.scalar_rounds = (
+            os.environ.get(SCALAR_ROUNDS_ENV, "") not in ("", "0")
+        )
         #: the one sanctioned path to the wire — protocols must not talk to
         #: the PhysicalNetwork directly (uniform charging and batching).
         self.transport = scenario.transport
@@ -203,11 +224,64 @@ class P2PTagClassifier(ABC):
     # -- helpers ---------------------------------------------------------------
 
     def _advance(self, seconds: float) -> None:
-        """Advance virtual time (peers act at staggered moments, so churn can
-        interleave with the training protocol)."""
+        """Advance virtual time by ``seconds`` (runs every queued event due
+        in the window, so churn and in-flight deliveries interleave with the
+        caller's next action).
+
+        Training rounds no longer drive the clock through repeated
+        ``_advance`` calls — they bulk-schedule all peer activations via
+        :meth:`_run_staggered_round` — but the method remains the sanctioned
+        way for a protocol to idle between phases, and the legacy scalar
+        round driver still steps through it.
+        """
         if seconds > 0:
             simulator = self.scenario.simulator
             simulator.run(until=simulator.now + seconds)
+
+    def _run_staggered_round(
+        self,
+        participants: Sequence[int],
+        scale: float,
+        rng: np.random.Generator,
+        action: Callable[[int], None],
+    ) -> None:
+        """Run one training round: ``action(address)`` once per participant
+        at staggered virtual times, so churn interleaves with the protocol.
+
+        Activation gaps are exponential(``scale``) inter-arrivals drawn as
+        one vectorized block up front (numpy array fills consume the RNG
+        stream exactly as per-participant scalar draws would), accumulated
+        into absolute activation times, and bulk-scheduled through the
+        kernel's :meth:`~repro.sim.engine.Simulator.schedule_batch_at` —
+        one kernel run interleaves every peer's activations with churn,
+        stabilization, and in-flight deliveries, instead of serializing
+        the round through per-peer ``run(until=...)`` calls.
+
+        The legacy sequential driver survives behind :attr:`scalar_rounds`
+        (env ``REPRO_SCALAR_ROUNDS=1``): it steps ``_advance(gap)`` per
+        participant, which lands on bit-identical activation instants
+        because both drivers accumulate the same gaps in the same float
+        order.  The equivalence suite asserts byte-identical stats between
+        the two drivers on every overlay/churn/loss combination.
+        """
+        if not participants:
+            return
+        simulator = self.scenario.simulator
+        gaps = rng.exponential(scale, size=len(participants))
+        if self.scalar_rounds:
+            for address, gap in zip(participants, gaps.tolist()):
+                self._advance(float(gap))
+                action(address)
+            return
+        times: List[float] = []
+        t = simulator.now
+        for gap in gaps.tolist():
+            t += gap
+            times.append(t)
+        simulator.schedule_batch_at(
+            times, action, ((address,) for address in participants)
+        )
+        simulator.run(until=times[-1])
 
     def _flush_network(self, settle_time: float = 5.0) -> None:
         """Let queued deliveries complete (advances virtual time).

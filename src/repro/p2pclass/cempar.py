@@ -97,33 +97,40 @@ class CemparClassifier(P2PTagClassifier):
         self._trained = True
 
     def _upload_local_models(self) -> None:
+        """One scheduled round: every peer's upload slot is pre-computed and
+        bulk-scheduled, so uploads from different peers interleave with
+        churn (a peer churned out at its slot misses the cascade round).
+        Local SVM training happens at the activation instant — the stagger
+        gaps are drawn as one block *before* any training draws, so the
+        protocol RNG stream no longer depends on per-peer training order.
+        """
+        self._run_staggered_round(
+            [address for address, items in sorted(self.peer_data.items()) if items],
+            self.config.upload_window / max(1, len(self.peer_data)),
+            self._rng,
+            self._upload_one,
+        )
+
+    def _upload_one(self, address: int) -> None:
         cfg = self.config
-        num_peers = max(1, len(self.peer_data))
-        for address, items in sorted(self.peer_data.items()):
-            if not items:
-                continue
-            # Peers act at staggered times, so churn interleaves with uploads.
-            self._advance(
-                float(self._rng.exponential(cfg.upload_window / num_peers))
+        if address not in self.scenario.overlay.members():
+            # Churned out at its upload slot: this contribution misses
+            # the initial cascade round.
+            self.scenario.stats.increment("cempar_upload_skipped")
+            return
+        region = self.directory.region_of(address)
+        problems = binary_problems(
+            self.peer_data[address], self.tags, cfg.max_negative_ratio, self._rng
+        )
+        for tag, (vectors, labels) in sorted(problems.items()):
+            svm = KernelSVM(
+                C=cfg.C,
+                gamma=cfg.gamma,
+                kernel_name=cfg.kernel_name,
+                seed=cfg.seed,
             )
-            if address not in self.scenario.overlay.members():
-                # Churned out at its upload slot: this contribution misses
-                # the initial cascade round.
-                self.scenario.stats.increment("cempar_upload_skipped")
-                continue
-            region = self.directory.region_of(address)
-            problems = binary_problems(
-                items, self.tags, cfg.max_negative_ratio, self._rng
-            )
-            for tag, (vectors, labels) in sorted(problems.items()):
-                svm = KernelSVM(
-                    C=cfg.C,
-                    gamma=cfg.gamma,
-                    kernel_name=cfg.kernel_name,
-                    seed=cfg.seed,
-                )
-                svm.fit(vectors, labels)
-                self._send_model(address, tag, region, svm.model)
+            svm.fit(vectors, labels)
+            self._send_model(address, tag, region, svm.model)
 
     def _send_model(
         self, address: int, tag: str, region: int, model: KernelSVMModel

@@ -104,20 +104,22 @@ class NBAggClassifier(P2PTagClassifier):
         return per_tag
 
     def _upload_statistics(self) -> None:
-        num_peers = max(1, len(self.peer_data))
-        for address, items in sorted(self.peer_data.items()):
-            if not items:
-                continue
-            self._advance(
-                float(
-                    self._rng.exponential(self.config.upload_window / num_peers)
-                )
-            )
-            if address not in self.scenario.overlay.members():
-                self.scenario.stats.increment("nbagg_upload_skipped")
-                continue
-            for tag, stats in sorted(self._local_statistics(items).items()):
-                self._send_stats(address, tag, stats)
+        """One scheduled round: upload slots are pre-computed and
+        bulk-scheduled so peers' uploads interleave with churn."""
+        self._run_staggered_round(
+            [address for address, items in sorted(self.peer_data.items()) if items],
+            self.config.upload_window / max(1, len(self.peer_data)),
+            self._rng,
+            self._upload_one,
+        )
+
+    def _upload_one(self, address: int) -> None:
+        if address not in self.scenario.overlay.members():
+            self.scenario.stats.increment("nbagg_upload_skipped")
+            return
+        statistics = self._local_statistics(self.peer_data[address])
+        for tag, stats in sorted(statistics.items()):
+            self._send_stats(address, tag, stats)
 
     def _send_stats(self, address: int, tag: str, stats: NBSufficientStats) -> None:
         outcome = self.transport.route_and_send(

@@ -167,36 +167,37 @@ class PaceClassifier(P2PTagClassifier):
     def _propagate(self, bundles: Dict[int, PaceModelBundle]) -> None:
         """Each bundle travels to every other live peer.
 
-        One :meth:`Transport.broadcast` per bundle: the flood primitive
-        supplies the recipient set on unstructured overlays (its edge
-        crossings exceed the member count — flooding is redundant by design,
-        and the excess is charged), unicast to every member otherwise.  The
-        whole block is batch-delivered with the bundle sized once.
+        One scheduled round (:meth:`_run_staggered_round`): every peer's
+        broadcast instant is pre-computed and bulk-scheduled, so bundles
+        from different peers interleave with churn and with each other in
+        one kernel run.  One :meth:`Transport.broadcast` per bundle: the
+        flood primitive supplies the recipient set on unstructured overlays
+        (its edge crossings exceed the member count — flooding is redundant
+        by design, and the excess is charged), unicast to every member
+        otherwise.  The whole block is batch-delivered with the bundle
+        sized once.
         """
-        num_peers = max(1, len(bundles))
-        for address, bundle in sorted(bundles.items()):
-            self._advance(
-                float(
-                    self._rng.exponential(
-                        self.config.propagation_window / num_peers
-                    )
-                )
+        self._run_staggered_round(
+            sorted(bundles),
+            self.config.propagation_window / max(1, len(bundles)),
+            self._rng,
+            lambda address: self._broadcast_bundle(address, bundles[address]),
+        )
+
+    def _broadcast_bundle(self, address: int, bundle: PaceModelBundle) -> None:
+        """One peer's activation: broadcast its bundle to the live overlay."""
+        if address not in set(self.scenario.overlay.members()):
+            self.scenario.stats.increment("pace_broadcast_skipped")
+            return
+        result = self.transport.broadcast(address, MSG_MODEL_BROADCAST, bundle)
+        if result.redundant_messages:
+            self.scenario.stats.increment(
+                "pace_flood_redundant", result.redundant_messages
             )
-            if address not in set(self.scenario.overlay.members()):
-                self.scenario.stats.increment("pace_broadcast_skipped")
-                continue
-            result = self.transport.broadcast(
-                address, MSG_MODEL_BROADCAST, bundle
-            )
-            if result.redundant_messages:
-                self.scenario.stats.increment(
-                    "pace_flood_redundant", result.redundant_messages
-                )
-            for recipient, outcome in result.outcomes:
-                if outcome.delivered:
-                    self._store_bundle(recipient, bundle)
-            # A peer also indexes its own models (no message).
-            self._store_bundle(address, bundle)
+        for recipient in result.delivered_to():
+            self._store_bundle(recipient, bundle)
+        # A peer also indexes its own models (no message).
+        self._store_bundle(address, bundle)
 
     def _store_bundle(self, receiver: int, bundle: PaceModelBundle) -> None:
         index = self._indexes.get(receiver)

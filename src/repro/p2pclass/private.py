@@ -50,7 +50,12 @@ class PrivatePaceConfig(PaceConfig):
 
 
 class PrivatePaceClassifier(PaceClassifier):
-    """PACE whose outgoing bundles are randomized before propagation."""
+    """PACE whose outgoing bundles are randomized before propagation.
+
+    Propagation inherits PACE's scheduled-batch round: noisy bundles are
+    broadcast at bulk-scheduled staggered instants, and only the randomized
+    artifacts ever reach the transport.
+    """
 
     traffic_prefix = "private-pace"
 

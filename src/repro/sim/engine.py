@@ -145,7 +145,6 @@ class Simulator:
         pass instead of k O(log n) sifts.
         """
         now = self._now
-        queue = self._queue
         counter = self._sequence
         if args_seq is None:
             entries = [
@@ -157,6 +156,40 @@ class Simulator:
                 (now + delay, next(counter), callback, args, None)
                 for delay, args in zip(delays, args_seq)
             ]
+        return self._push_batch(entries)
+
+    def schedule_batch_at(
+        self,
+        times: Sequence[float],
+        callback: EventCallback,
+        args_seq: Optional[Iterable[tuple]] = None,
+    ) -> int:
+        """Bulk-schedule one callback at a block of *absolute* virtual times.
+
+        The scheduled-round primitive: a training round pre-computes every
+        peer's activation time and registers the whole block here, so rounds
+        from many peers interleave through one kernel run instead of
+        serializing through repeated ``run(until=...)`` calls.  Times are
+        used exactly as given (no ``now + delay`` re-addition), which keeps
+        activation instants bit-identical to a sequential accumulation of
+        the same gaps.  Like :meth:`schedule_batch`, no :class:`Event`
+        handles are allocated.  Returns the number of events scheduled.
+        """
+        counter = self._sequence
+        if args_seq is None:
+            entries = [(time, next(counter), callback, (), None) for time in times]
+        else:
+            entries = [
+                (time, next(counter), callback, args, None)
+                for time, args in zip(times, args_seq)
+            ]
+        return self._push_batch(entries)
+
+    def _push_batch(self, entries: List[_QueueEntry]) -> int:
+        """Validate and push a block of heap entries (one O(n+k) heapify for
+        large blocks instead of k O(log n) sifts)."""
+        now = self._now
+        queue = self._queue
         for entry in entries:
             if entry[0] < now:
                 raise SimulationError(

@@ -5,9 +5,11 @@ message experiences propagation latency (per-pair, jittered), transmission
 delay (size / bandwidth), and optional loss.  Nodes can be marked down, in
 which case delivery silently fails — exactly how a UDP overlay sees churn.
 
-Two send paths exist and are RNG-equivalent: :meth:`PhysicalNetwork.send`
-(one message) and :meth:`PhysicalNetwork.send_batch` (a same-tick block with
-one vectorized jitter draw).  numpy fills array draws by repeating the same
+Three send paths exist and are RNG-equivalent: :meth:`PhysicalNetwork.send`
+(one message), :meth:`PhysicalNetwork.send_batch` (a same-tick block with
+one vectorized jitter draw), and :meth:`PhysicalNetwork.broadcast_block`
+(one payload to many recipients with bulk stats arithmetic and lazily
+materialized messages).  numpy fills array draws by repeating the same
 underlying generator steps, so a batch of N sends consumes the RNG stream
 bit-identically to N sequential sends — batching never changes replay.
 """
@@ -15,7 +17,7 @@ bit-identically to N sequential sends — batching never changes replay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -55,6 +57,31 @@ def pair_mix64(src: int, dst: int) -> int:
 def pair_seed(src: int, dst: int) -> int:
     """31-bit RNG seed for an unordered pair (see :func:`pair_mix64`)."""
     return pair_mix64(src, dst) & 0x7FFFFFFF
+
+
+def pair_factors(src: int, dsts: np.ndarray) -> np.ndarray:
+    """Vectorized per-pair latency factors in [0.5, 1.5] for one source.
+
+    Bit-identical to ``0.5 + (pair_mix64(src, dst) >> 11) * 2**-53`` per
+    destination — the splitmix64 finalizer runs in wrapping ``uint64``
+    numpy arithmetic, so a 10k-recipient broadcast computes its factors in
+    a handful of array operations instead of 10k Python-level mixes.
+    """
+    dsts = np.asarray(dsts, dtype=np.uint64)
+    source = np.uint64(src)
+    low = np.minimum(dsts, source)
+    high = np.maximum(dsts, source)
+    x = (
+        low * np.uint64(_MIX_MULT_A)
+        + high * np.uint64(_MIX_MULT_C)
+        + np.uint64(0x1F0A2F)
+    )
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX_MULT_B)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX_MULT_C)
+    x ^= x >> np.uint64(31)
+    return 0.5 + (x >> np.uint64(11)) * (2.0 ** -53)
 
 
 @dataclass
@@ -144,6 +171,16 @@ class PhysicalNetwork:
     def is_up(self, node_id: int) -> bool:
         return node_id in self._handlers and node_id not in self._down
 
+    def are_up(self, node_ids: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`is_up` over a block of addresses."""
+        handlers = self._handlers
+        down = self._down
+        return np.fromiter(
+            (n in handlers and n not in down for n in node_ids),
+            dtype=bool,
+            count=len(node_ids),
+        )
+
     def is_down(self, node_id: int) -> bool:
         """True if explicitly failed (independent of handler registration)."""
         return node_id in self._down
@@ -170,6 +207,13 @@ class PhysicalNetwork:
     def remove_send_listener(self, listener: SendListener) -> None:
         if listener in self._send_listeners:
             self._send_listeners.remove(listener)
+
+    @property
+    def has_send_listeners(self) -> bool:
+        """True when a tracer is attached (disables lazy-message fast paths,
+        which cannot present per-message :class:`Message` objects at send
+        time)."""
+        return bool(self._send_listeners)
 
     # -- latency -----------------------------------------------------------------
 
@@ -261,9 +305,70 @@ class PhysicalNetwork:
             )
         return results
 
+    def broadcast_block(
+        self,
+        src: int,
+        dsts: Sequence[int],
+        msg_type: str,
+        payload: Any,
+        size_bytes: int,
+    ) -> np.ndarray:
+        """Send one identical-size payload to many destinations, vectorized.
+
+        The hot path behind :meth:`Transport.broadcast` at 10k+ recipients:
+        stats arithmetic is aggregated in bulk, per-pair latency factors and
+        jitter come from single array operations, and no :class:`Message`
+        objects exist at send time — one is materialized per *delivered*
+        recipient when its delivery event fires (:meth:`_deliver_lazy`).
+
+        RNG and accounting are bit-identical to ``send_batch`` over the
+        equivalent message block: the jitter draw consumes the stream the
+        same way, pair factors are the same splitmix64 mix, and the stats
+        arithmetic matches message-by-message recording.  Callers must
+        pre-check the fallback conditions (loss model active, send
+        listeners attached, or a down source), which this fast path does
+        not handle; ``dsts`` must be distinct and must not contain ``src``.
+
+        Returns the per-destination sent flags (all True — a live source
+        with no loss model queues every message).
+        """
+        count = len(dsts)
+        self.stats.record_message_block(msg_type, size_bytes, src=src, dsts=dsts)
+        factors = pair_factors(src, np.asarray(dsts, dtype=np.uint64))
+        sizes = np.full(count, float(size_bytes))
+        delays = factors * self.latency.delays_for(sizes, self.simulator.rng)
+        self.simulator.schedule_batch(
+            delays.tolist(),
+            self._deliver_lazy,
+            ((src, dst, msg_type, payload, size_bytes) for dst in dsts),
+        )
+        return np.ones(count, dtype=bool)
+
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)
         if handler is None or message.dst in self._down:
             self.stats.increment("messages_undeliverable")
             return
         handler(message)
+
+    def _deliver_lazy(
+        self, src: int, dst: int, msg_type: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Deliver a broadcast-block message, materializing it on demand.
+
+        Handlers see an ordinary :class:`Message`; undeliverable recipients
+        (churned out or unregistered since send time) never allocate one.
+        """
+        handler = self._handlers.get(dst)
+        if handler is None or dst in self._down:
+            self.stats.increment("messages_undeliverable")
+            return
+        handler(
+            Message(
+                src=src,
+                dst=dst,
+                msg_type=msg_type,
+                payload=payload,
+                size_bytes=size_bytes,
+            )
+        )

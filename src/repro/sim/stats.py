@@ -8,9 +8,11 @@ Experiments read their cost columns from here.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.messages import Message
 
@@ -96,6 +98,32 @@ class StatsCollector:
         if dst is not None:
             self.per_peer_received[dst] += size_bytes
 
+    def record_message_block(
+        self,
+        msg_type: str,
+        size_bytes: int,
+        src: int,
+        dsts: Sequence[int],
+        hops: int = 1,
+    ) -> None:
+        """Account a one-to-many block in bulk (vectorized broadcast path).
+
+        Exactly equivalent to ``len(dsts)`` :meth:`record_traffic` calls with
+        the same ``msg_type``/``size_bytes``/``src``/``hops`` — the per-type
+        and per-src counters are bumped with one arithmetic operation each,
+        and the per-destination received bytes in one ``Counter.update``.
+        ``dsts`` must be distinct addresses (broadcast recipient sets are).
+        """
+        count = len(dsts)
+        if count == 0:
+            return
+        total = size_bytes * max(1, hops)
+        self.messages_by_type[msg_type] += count
+        self.bytes_by_type[msg_type] += total * count
+        self.hops_by_type[msg_type] += hops * count
+        self.per_peer_bytes[src] += total * count
+        self.per_peer_received.update(dict.fromkeys(dsts, size_bytes))
+
     @property
     def total_messages(self) -> int:
         return sum(self.messages_by_type.values())
@@ -120,6 +148,37 @@ class StatsCollector:
 
     def series_values(self, name: str) -> List[float]:
         return [value for _, value in self.series.get(name, [])]
+
+    # -- fingerprinting ----------------------------------------------------
+
+    def fingerprint(self) -> Dict[str, Dict[str, int]]:
+        """Canonical snapshot of every accounting observable.
+
+        The determinism contract ("same seed → bit-identical stats") is
+        checked against this structure: message/byte/hop counts by type,
+        per-peer sent/received bytes, and named counters.  Time series and
+        the activity log are excluded (they carry floats and free-form text,
+        not accounting).  Keys are stringified so the snapshot serializes to
+        canonical JSON.
+        """
+        return {
+            "messages_by_type": {k: v for k, v in sorted(self.messages_by_type.items())},
+            "bytes_by_type": {k: v for k, v in sorted(self.bytes_by_type.items())},
+            "hops_by_type": {k: v for k, v in sorted(self.hops_by_type.items())},
+            "per_peer_bytes": {str(k): v for k, v in sorted(self.per_peer_bytes.items())},
+            "per_peer_received": {str(k): v for k, v in sorted(self.per_peer_received.items())},
+            "counters": {k: v for k, v in sorted(self.counters.items())},
+        }
+
+    def fingerprint_bytes(self) -> bytes:
+        """The fingerprint as canonical JSON bytes (byte-identity checks)."""
+        return json.dumps(
+            self.fingerprint(), sort_keys=True, separators=(",", ":")
+        ).encode("ascii")
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical fingerprint (golden suite)."""
+        return hashlib.sha256(self.fingerprint_bytes()).hexdigest()
 
     # -- reporting -------------------------------------------------------------
 

@@ -22,14 +22,21 @@ observables never depend on which path a protocol uses.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.overlay.base import Overlay, RouteResult
 from repro.sim.messages import _HEADER_BYTES, Message, payload_size
 from repro.sim.network import PhysicalNetwork
 from repro.sim.stats import StatsCollector
+
+#: set to "1" to force the scalar (message-per-recipient) broadcast path —
+#: the equivalence harness runs both paths and compares stats byte-for-byte.
+SCALAR_BROADCAST_ENV = "REPRO_SCALAR_BROADCAST"
 
 
 @dataclass
@@ -58,16 +65,50 @@ class Outcome:
         )
 
 
-@dataclass
 class BroadcastOutcome:
-    """Result of a one-to-many propagation."""
+    """Result of a one-to-many propagation.
 
-    origin: int
-    outcomes: List[Tuple[int, Outcome]]  # (recipient, outcome), send order
-    redundant_messages: int = 0  # flood edge crossings beyond recipients
+    Per-recipient results are held as flag arrays; the per-recipient
+    :class:`Outcome` objects the pre-vectorization API exposed are
+    materialized lazily through :attr:`outcomes`, so callers that only need
+    the delivered set (:meth:`delivered_to`) never allocate 10k objects.
+    """
+
+    __slots__ = ("origin", "targets", "sent", "delivered",
+                 "redundant_messages", "_outcomes")
+
+    def __init__(
+        self,
+        origin: int,
+        targets: Sequence[int],
+        sent: Sequence[bool],
+        delivered: Sequence[bool],
+        redundant_messages: int = 0,
+    ) -> None:
+        self.origin = origin
+        self.targets = list(targets)  # recipients, send order
+        self.sent = np.asarray(sent, dtype=bool)
+        self.delivered = np.asarray(delivered, dtype=bool)
+        #: flood edge crossings beyond recipients
+        self.redundant_messages = redundant_messages
+        self._outcomes: Optional[List[Tuple[int, Outcome]]] = None
+
+    @property
+    def outcomes(self) -> List[Tuple[int, Outcome]]:
+        """(recipient, :class:`Outcome`) pairs in send order, built on
+        first access."""
+        if self._outcomes is None:
+            self._outcomes = [
+                (dst, Outcome(sent=bool(s), delivered=bool(d), dst=dst))
+                for dst, s, d in zip(self.targets, self.sent, self.delivered)
+            ]
+        return self._outcomes
 
     def delivered_to(self) -> List[int]:
-        return [dst for dst, outcome in self.outcomes if outcome.delivered]
+        return [dst for dst, ok in zip(self.targets, self.delivered) if ok]
+
+    def delivered_count(self) -> int:
+        return int(self.delivered.sum())
 
 
 class Transport:
@@ -83,6 +124,12 @@ class Transport:
         self.simulator = network.simulator
         self.overlay = overlay
         self.stats = stats or network.stats
+        #: debug/equivalence flag: force the scalar message-per-recipient
+        #: broadcast path (the pre-vectorization behaviour).  Results are
+        #: bit-identical either way; only wall-clock differs.
+        self.scalar_broadcast = (
+            os.environ.get(SCALAR_BROADCAST_ENV, "") not in ("", "0")
+        )
 
     # -- unicast -------------------------------------------------------------
 
@@ -188,8 +235,17 @@ class Transport:
         With ``recipients`` unset, the recipient set comes from the overlay:
         the flood primitive where available (unstructured overlays, charging
         redundant edge crossings), overlay membership otherwise.  The payload
-        is sized once and shared by every message — the per-recipient
-        re-serialization the old per-protocol loops paid is gone.
+        is sized once and shared by every message.
+
+        Recipient bookkeeping is vectorized: per-recipient stats arithmetic
+        aggregates in bulk, latency factors and jitter come from single
+        array draws, and neither :class:`Message` nor :class:`Outcome`
+        objects are allocated per recipient at send time (messages
+        materialize at delivery, outcomes on :attr:`BroadcastOutcome.outcomes`
+        access).  The RNG stream is consumed bit-identically to the scalar
+        message-per-recipient path, which remains behind
+        :attr:`scalar_broadcast` (and is the automatic fallback when a loss
+        model or a send listener needs per-message draws/objects).
         """
         redundant = 0
         if recipients is None:
@@ -207,20 +263,40 @@ class Transport:
         else:
             targets = [dst for dst in recipients if dst != origin]
         size = _HEADER_BYTES + payload_size(payload)
-        messages = [
-            Message(
-                src=origin,
-                dst=dst,
-                msg_type=msg_type,
-                payload=payload,
-                size_bytes=size,
-            )
-            for dst in targets
-        ]
-        outcomes = self.send_batch(messages)
+        network = self.network
+        vectorizable = (
+            not self.scalar_broadcast
+            and len(targets) >= 2
+            and network.latency.drop_probability == 0
+            and not network.has_send_listeners
+            and network.is_up(origin)
+            # Overlay-derived recipient sets are distinct by construction;
+            # caller-supplied duplicates need per-message accounting (the
+            # bulk per-destination Counter.update would collapse them).
+            and len(set(targets)) == len(targets)
+        )
+        if vectorizable:
+            sent = network.broadcast_block(origin, targets, msg_type, payload, size)
+            delivered = sent & network.are_up(targets)
+        else:
+            messages = [
+                Message(
+                    src=origin,
+                    dst=dst,
+                    msg_type=msg_type,
+                    payload=payload,
+                    size_bytes=size,
+                )
+                for dst in targets
+            ]
+            outcomes = self.send_batch(messages)
+            sent = [o.sent for o in outcomes]
+            delivered = [o.delivered for o in outcomes]
         return BroadcastOutcome(
             origin=origin,
-            outcomes=list(zip(targets, outcomes)),
+            targets=targets,
+            sent=sent,
+            delivered=delivered,
             redundant_messages=redundant,
         )
 

@@ -1,0 +1,115 @@
+"""Shared machinery for the determinism suites.
+
+One tiny fixed-seed corpus, one scenario builder per environment variant,
+and one classifier factory per protocol — used by both the golden
+fingerprint suite (``tests/test_golden_determinism.py``) and the
+batch/scalar equivalence property tests (``tests/test_scheduled_rounds.py``).
+
+Everything here must stay deterministic across interpreter versions and
+platforms: all ids flow through blake2 hashes, all randomness through
+seeded numpy Generators, and the training runs only consume observables
+that serialize to exact integers (message counts, bytes, hops, counters).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.baselines.centralized import CentralizedTagger
+from repro.baselines.localonly import LocalOnlyTagger
+from repro.baselines.popularity import PopularityTagger
+from repro.data.delicious import DeliciousGenerator
+from repro.p2pclass.base import P2PTagClassifier, corpus_to_peer_data
+from repro.p2pclass.cempar import CemparClassifier, CemparConfig
+from repro.p2pclass.nbagg import NBAggClassifier
+from repro.p2pclass.pace import PaceClassifier
+from repro.p2pclass.private import PrivatePaceClassifier
+from repro.sim.distribution import ShardSpec
+from repro.sim.scenario import Scenario, ScenarioConfig
+from repro.text.vectorizer import PreprocessingPipeline
+
+NUM_PEERS = 5
+
+#: every registered overlay participates in the determinism matrix
+OVERLAYS = ("chord", "kademlia", "pastry", "unstructured", "fullmesh", "superpeer")
+
+#: all seven training protocols
+PROTOCOLS = ("pace", "private", "cempar", "nbagg", "centralized", "local", "popularity")
+
+#: environment variants: static network, leave/rejoin churn, message loss
+VARIANTS = ("none", "churn", "loss")
+
+
+def _build_peer_data():
+    corpus = DeliciousGenerator(
+        num_users=NUM_PEERS,
+        seed=7,
+        num_tags=4,
+        docs_per_user_range=(6, 8),
+        vocabulary_size=200,
+        topic_words_per_tag=20,
+        doc_length_range=(15, 25),
+    ).generate()
+    pipeline = PreprocessingPipeline(dimension=2 ** 16)
+    return corpus_to_peer_data(corpus, pipeline), sorted(corpus.tag_universe())
+
+
+_PEER_DATA, _TAGS = _build_peer_data()
+
+
+def build_scenario(overlay: str, variant: str, seed: int = 0) -> Scenario:
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    scenario = Scenario(
+        ScenarioConfig(
+            num_peers=NUM_PEERS,
+            overlay=overlay,
+            churn="exponential" if variant == "churn" else "none",
+            mean_session=40.0,
+            mean_downtime=15.0,
+            drop_probability=0.15 if variant == "loss" else 0.0,
+            shard=ShardSpec(num_peers=NUM_PEERS),
+            seed=seed,
+        )
+    )
+    if variant == "churn":
+        scenario.start_churn()
+    return scenario
+
+
+def build_classifier(protocol: str, scenario: Scenario) -> P2PTagClassifier:
+    if protocol == "pace":
+        return PaceClassifier(scenario, _PEER_DATA, _TAGS)
+    if protocol == "private":
+        return PrivatePaceClassifier(scenario, _PEER_DATA, _TAGS)
+    if protocol == "cempar":
+        return CemparClassifier(
+            scenario, _PEER_DATA, _TAGS, CemparConfig(num_regions=1)
+        )
+    if protocol == "nbagg":
+        return NBAggClassifier(scenario, _PEER_DATA, _TAGS)
+    if protocol == "centralized":
+        return CentralizedTagger(scenario, _PEER_DATA, _TAGS)
+    if protocol == "local":
+        return LocalOnlyTagger(scenario, _PEER_DATA, _TAGS)
+    if protocol == "popularity":
+        return PopularityTagger(scenario, _PEER_DATA, _TAGS)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def run_training(
+    protocol: str, overlay: str, variant: str, scalar: bool = False
+) -> Tuple[Scenario, P2PTagClassifier]:
+    """Train one (protocol, overlay, variant) combo; returns the scenario
+    (stats + clock) and the trained classifier.
+
+    ``scalar=True`` forces both legacy drivers — the sequential ``_advance``
+    stagger loop and the message-per-recipient broadcast path — which must
+    produce byte-identical stats to the scheduled-batch/vectorized default.
+    """
+    scenario = build_scenario(overlay, variant)
+    classifier = build_classifier(protocol, scenario)
+    classifier.scalar_rounds = scalar
+    classifier.transport.scalar_broadcast = scalar
+    classifier.train()
+    return scenario, classifier

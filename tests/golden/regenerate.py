@@ -1,0 +1,41 @@
+"""Regenerate the golden training digests.
+
+Run after an *intentional* change to the RNG stream, event ordering, or
+accounting arithmetic, then commit the diff (the diff itself documents how
+wide the behavioural change is):
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from tests.determinism_fixtures import OVERLAYS, PROTOCOLS, VARIANTS
+    from tests.test_golden_determinism import GOLDEN_PATH, combo_digest, combo_key
+
+    digests = {}
+    for overlay in OVERLAYS:
+        for protocol in PROTOCOLS:
+            for variant in VARIANTS:
+                key = combo_key(overlay, protocol, variant)
+                digests[key] = combo_digest(protocol, overlay, variant)
+                print(f"{key:<40} {digests[key][:16]}…")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(digests, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\nwrote {len(digests)} digests to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,7 +55,7 @@ class TestPaceOnUnstructured:
         assert abs(f1_unstructured - f1_chord) < 0.15
 
 
-@pytest.mark.parametrize("overlay", ["chord", "kademlia", "pastry"])
+@pytest.mark.parametrize("overlay", ["chord", "kademlia", "pastry", "superpeer"])
 class TestDhtClassifiersAcrossOverlays:
     def test_cempar_trains_and_predicts(self, overlay):
         classifier = CemparClassifier(
@@ -81,7 +81,7 @@ class TestSystemAcrossOverlays:
             vocabulary_size=300, topic_words_per_tag=25,
             doc_length_range=(25, 45),
         ).generate()
-        for overlay in ("chord", "kademlia", "pastry", "unstructured"):
+        for overlay in ("chord", "kademlia", "pastry", "unstructured", "superpeer"):
             system = P2PDocTaggerSystem(
                 corpus,
                 SystemConfig(

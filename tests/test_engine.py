@@ -184,6 +184,45 @@ class TestScheduleBatch:
             sim.schedule_batch([1.0, -0.5], lambda: None)
 
 
+class TestScheduleBatchAt:
+    def test_absolute_times_used_exactly(self):
+        # schedule_batch_at must not re-add `now`: the activation instants
+        # land bit-identically on the given floats (the scheduled-round
+        # pattern depends on this for scalar/batch equivalence).
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run()  # now == 0.5
+        seen = []
+        times = [0.5 + 0.1, 0.5 + 0.1 + 0.2]
+        sim.schedule_batch_at(times, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == times
+
+    def test_interleaves_with_relative_schedules(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("mid"))
+        sim.schedule_batch_at([1.0, 3.0], order.append, [("a",), ("b",)])
+        sim.run()
+        assert order == ["a", "mid", "b"]
+
+    def test_past_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch_at([0.5], lambda: None)
+
+    def test_counts_as_pending_and_without_args(self):
+        sim = Simulator()
+        fired = []
+        assert sim.schedule_batch_at([1.0, 2.0], lambda: fired.append(sim.now)) == 2
+        assert sim.pending_events == 2
+        sim.run()
+        assert fired == [1.0, 2.0]
+        assert sim.pending_events == 0
+
+
 class TestPendingCounter:
     def test_pending_is_live_counter(self):
         sim = Simulator()

@@ -1,0 +1,87 @@
+"""Golden fingerprint suite: the determinism contract, checked in.
+
+For every (overlay × protocol × {no-churn, churn, loss}) combination, a
+small fixed-seed training scenario's stats digest — SHA-256 over the
+canonical JSON of :meth:`StatsCollector.fingerprint` plus the final virtual
+clock — is stored in ``tests/golden/training_digests.json`` and compared
+*exactly*.  Any drift in the RNG stream, event ordering, or byte/hop
+accounting (an optimization that reorders draws, a changed wire-size rule,
+a new overlay hop) fails tier-1 loudly instead of silently changing every
+experiment table.
+
+When a change is *intentional*, regenerate the goldens and commit the diff:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The matrix is the full cross product — 126 combos — and runs in about a
+second thanks to the tiny fixture corpus.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.determinism_fixtures import OVERLAYS, PROTOCOLS, VARIANTS, run_training
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "training_digests.json"
+
+REGEN_HINT = (
+    "If this change to the stats stream is intentional, regenerate with "
+    "`PYTHONPATH=src python tests/golden/regenerate.py` and commit the diff."
+)
+
+
+def combo_key(overlay: str, protocol: str, variant: str) -> str:
+    return f"{overlay}/{protocol}/{variant}"
+
+
+def combo_digest(protocol: str, overlay: str, variant: str) -> str:
+    """Digest of one training run: stats fingerprint + final virtual clock."""
+    import hashlib
+
+    scenario, _ = run_training(protocol, overlay, variant)
+    payload = scenario.stats.fingerprint_bytes() + json.dumps(
+        {"now": scenario.simulator.now}
+    ).encode("ascii")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}. {REGEN_HINT}")
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("overlay", OVERLAYS)
+def test_training_digest_matches_golden(overlay, protocol, variant):
+    key = combo_key(overlay, protocol, variant)
+    goldens = load_goldens()
+    assert key in goldens, f"no golden digest for {key}. {REGEN_HINT}"
+    actual = combo_digest(protocol, overlay, variant)
+    assert actual == goldens[key], (
+        f"stats digest drifted for {key}: expected {goldens[key][:16]}…, "
+        f"got {actual[:16]}…. Same seed no longer produces bit-identical "
+        f"stats on this combo. {REGEN_HINT}"
+    )
+
+
+def test_golden_file_has_no_stale_entries():
+    """Every stored digest corresponds to a live matrix combo (renames and
+    removals must regenerate, not accumulate)."""
+    goldens = load_goldens()
+    expected = {
+        combo_key(o, p, v) for o in OVERLAYS for p in PROTOCOLS for v in VARIANTS
+    }
+    stale = set(goldens) - expected
+    assert not stale, f"stale golden entries: {sorted(stale)}. {REGEN_HINT}"
+
+
+def test_digests_are_run_to_run_stable():
+    """The digest of a fresh identical run is identical (no hidden global
+    state leaks between scenario constructions)."""
+    first = combo_digest("pace", "chord", "churn")
+    second = combo_digest("pace", "chord", "churn")
+    assert first == second

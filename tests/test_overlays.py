@@ -16,7 +16,7 @@ from repro.overlay.idspace import (
     xor_distance,
 )
 from repro.overlay.kademlia import KademliaOverlay
-from repro.overlay.superpeer import SuperPeerDirectory
+from repro.overlay.superpeer import SuperPeerDirectory, SuperPeerOverlay
 from repro.overlay.unstructured import UnstructuredOverlay
 
 
@@ -286,6 +286,103 @@ class TestSuperPeers:
     def test_invalid_regions(self):
         with pytest.raises(OverlayError):
             SuperPeerDirectory(chord(4), num_regions=0)
+
+
+def superpeer(n, ratio=4):
+    overlay = SuperPeerOverlay(ratio=ratio)
+    for address in range(n):
+        overlay.join(address)
+    return overlay
+
+
+class TestSuperPeerOverlay:
+    def test_registered_in_factory(self):
+        from repro.overlay import make_overlay, overlay_names
+
+        assert "superpeer" in overlay_names()
+        overlay = make_overlay("superpeer", seed=1, degree=4)
+        assert isinstance(overlay, SuperPeerOverlay)
+
+    def test_election_is_deterministic_and_join_order_independent(self):
+        a = superpeer(30)
+        b = SuperPeerOverlay()
+        for address in reversed(range(30)):
+            b.join(address)
+        assert a.super_peers() == b.super_peers()
+        assert sorted(a.members()) == sorted(b.members())
+
+    def test_core_is_a_strict_subset_at_scale(self):
+        overlay = superpeer(200)
+        supers = set(overlay.super_peers())
+        assert 0 < len(supers) < 200
+        # roughly 1/ratio of the population is elected
+        assert 200 // 16 <= len(supers) <= 200 // 2
+
+    def test_all_origins_agree_on_owner(self):
+        overlay = superpeer(40)
+        key = key_id_for("sp|music|0")
+        owners = {overlay.route(origin, key).owner for origin in range(40)}
+        assert len(owners) == 1
+        assert owners.pop() in set(overlay.super_peers())
+
+    def test_routes_are_at_most_two_hops(self):
+        overlay = superpeer(60)
+        for origin in range(60):
+            route = overlay.route(origin, key_id_for(f"k{origin}"))
+            assert route.success
+            assert 0 <= route.hops <= 2
+            assert origin not in route.path
+
+    def test_leaf_routes_through_its_attachment(self):
+        overlay = superpeer(60)
+        supers = set(overlay.super_peers())
+        leaves = [a for a in overlay.members() if a not in supers]
+        assert leaves, "expected at least one leaf at N=60"
+        leaf = leaves[0]
+        attach = overlay.attachment(leaf)
+        assert attach in supers
+        route = overlay.route(leaf, key_id_for("faraway"))
+        if route.hops == 2:
+            assert route.path[0] == attach
+
+    def test_neighbors_two_tier_shape(self):
+        overlay = superpeer(60)
+        supers = set(overlay.super_peers())
+        for address in overlay.members():
+            links = overlay.neighbors(address)
+            assert address not in links
+            if address not in supers:
+                assert len(links) == 1 and links[0] in supers
+            else:
+                assert set(overlay.super_peers()) - {address} <= set(links)
+
+    def test_empty_core_degrades_to_flat_ring(self):
+        overlay = superpeer(20)
+        for address in list(overlay.super_peers()):
+            overlay.leave(address)
+        assert overlay.super_peers() == []
+        members = overlay.members()
+        key = key_id_for("still-works")
+        owners = {overlay.route(origin, key).owner for origin in members}
+        assert len(owners) == 1 and owners.pop() in set(members)
+
+    def test_churned_superpeer_responsibility_migrates(self):
+        overlay = superpeer(40)
+        key = key_id_for("migrate-me")
+        old = overlay.route(0, key).owner
+        overlay.leave(old)
+        origin = 0 if old != 0 else 1
+        new = overlay.route(origin, key).owner
+        assert new != old and new in set(overlay.members())
+        overlay.join(old)
+        assert overlay.route(origin, key).owner == old
+
+    def test_non_member_rejected(self):
+        overlay = superpeer(8)
+        with pytest.raises(OverlayError):
+            overlay.route(99, 5)
+        with pytest.raises(OverlayError):
+            SuperPeerOverlay(ratio=0)
 
 
 @settings(max_examples=30)

@@ -1,0 +1,109 @@
+"""Batch/sequential equivalence for scheduled training rounds and the
+vectorized broadcast.
+
+The tentpole refactor keeps two legacy drivers behind debug flags — the
+sequential ``_advance`` stagger loop (``scalar_rounds``) and the
+message-per-recipient broadcast path (``scalar_broadcast``).  These
+property tests run every round-driving protocol through both drivers on
+every overlay under no-churn, churn, and loss, and assert *byte-identical*
+``StatsCollector`` output (canonical-JSON fingerprint bytes) plus an
+identical final virtual clock.  The baselines' bulk-scheduled upload blocks
+are checked against per-message sequential sends the same way.
+"""
+
+import pytest
+
+from tests.determinism_fixtures import (
+    OVERLAYS,
+    VARIANTS,
+    build_classifier,
+    build_scenario,
+    run_training,
+)
+
+#: protocols whose training rounds stagger peer activations
+ROUND_PROTOCOLS = ("pace", "private", "cempar", "nbagg")
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("overlay", OVERLAYS)
+@pytest.mark.parametrize("protocol", ROUND_PROTOCOLS)
+def test_scheduled_round_matches_scalar_round(protocol, overlay, variant):
+    batch_scenario, batch_classifier = run_training(protocol, overlay, variant)
+    scalar_scenario, scalar_classifier = run_training(
+        protocol, overlay, variant, scalar=True
+    )
+    assert (
+        batch_scenario.stats.fingerprint_bytes()
+        == scalar_scenario.stats.fingerprint_bytes()
+    )
+    assert batch_scenario.simulator.now == scalar_scenario.simulator.now
+    # Spot-check protocol state beyond the stats stream.
+    if protocol in ("pace", "private"):
+        for address in batch_scenario.peer_addresses:
+            assert batch_classifier.models_indexed_at(
+                address
+            ) == scalar_classifier.models_indexed_at(address)
+    if protocol == "cempar":
+        assert set(batch_classifier.regional_models) == set(
+            scalar_classifier.regional_models
+        )
+    if protocol == "nbagg":
+        assert set(batch_classifier._models) == set(scalar_classifier._models)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("protocol", ("centralized", "popularity"))
+def test_baseline_batched_round_matches_sequential_sends(protocol, variant):
+    """The baselines' one-block upload rounds must equal per-message sends."""
+    batched_scenario, _ = run_training(protocol, "chord", variant)
+
+    sequential_scenario = build_scenario("chord", variant)
+    classifier = build_classifier(protocol, sequential_scenario)
+    transport = classifier.transport
+    transport.send_batch = lambda messages: [
+        transport.send_message(m) for m in messages
+    ]
+    classifier.train()
+
+    assert (
+        batched_scenario.stats.fingerprint_bytes()
+        == sequential_scenario.stats.fingerprint_bytes()
+    )
+    assert batched_scenario.simulator.now == sequential_scenario.simulator.now
+
+
+def test_scalar_flags_default_off_and_env_override(monkeypatch):
+    scenario = build_scenario("chord", "none")
+    classifier = build_classifier("pace", scenario)
+    assert classifier.scalar_rounds is False
+    assert classifier.transport.scalar_broadcast is False
+
+    monkeypatch.setenv("REPRO_SCALAR_ROUNDS", "1")
+    monkeypatch.setenv("REPRO_SCALAR_BROADCAST", "1")
+    scenario = build_scenario("chord", "none")
+    classifier = build_classifier("pace", scenario)
+    assert classifier.scalar_rounds is True
+    assert classifier.transport.scalar_broadcast is True
+
+
+def test_round_activations_are_bulk_scheduled():
+    """The scheduled-batch driver registers every activation up front: when
+    the first peer activates, the rest of the round is already queued —
+    rather than each slot being discovered through its own
+    ``run(until=...)`` call as the scalar driver does."""
+    scenario = build_scenario("chord", "none")
+    classifier = build_classifier("pace", scenario)
+    simulator = scenario.simulator
+    participants = sorted(scenario.peer_addresses)
+    pending_at_activation = []
+
+    def action(address):
+        pending_at_activation.append((address, simulator.pending_events))
+
+    classifier._run_staggered_round(participants, 1.0, classifier._rng, action)
+    assert [address for address, _ in pending_at_activation] == participants
+    # At the first activation the other len-1 activations are still queued.
+    assert pending_at_activation[0][1] == len(participants) - 1
+    assert pending_at_activation[-1][1] == 0
+    assert simulator.now > 0

@@ -16,7 +16,9 @@ from repro.sim.network import LatencyModel, PhysicalNetwork, pair_seed
 from repro.sim.stats import StatsCollector
 from repro.sim.transport import Transport
 
-ALL_OVERLAYS = ("chord", "kademlia", "pastry", "unstructured", "fullmesh")
+ALL_OVERLAYS = (
+    "chord", "kademlia", "pastry", "unstructured", "fullmesh", "superpeer"
+)
 
 
 def build_transport(num_nodes=12, overlay_name=None, seed=0, drop=0.0):
@@ -66,7 +68,7 @@ def drive_workload(transport):
 
 
 class TestRegistry:
-    def test_all_five_overlays_registered(self):
+    def test_all_six_overlays_registered(self):
         assert set(ALL_OVERLAYS) <= set(overlay_names())
 
     def test_make_overlay_unknown_name(self):
@@ -190,7 +192,9 @@ class TestHopChargingParity:
     """Transport.route_and_send must charge exactly what the old
     per-protocol code charged: a Message with hops=max(1, route.hops)."""
 
-    @pytest.mark.parametrize("name", ("chord", "kademlia", "pastry", "fullmesh"))
+    @pytest.mark.parametrize(
+        "name", ("chord", "kademlia", "pastry", "fullmesh", "superpeer")
+    )
     def test_route_and_send_matches_manual_path(self, name):
         from repro.overlay.idspace import key_id_for
 
@@ -265,6 +269,141 @@ class TestBroadcast:
         reference = Message(src=0, dst=1, msg_type="b", payload=payload)
         per_message = transport.stats.bytes_by_type["b"] / 11
         assert per_message == reference.size_bytes
+
+
+class TestVectorizedBroadcast:
+    """The vectorized recipient bookkeeping must be observationally
+    identical to the scalar message-per-recipient path."""
+
+    def _delivery_log(self, transport, scalar, *, down=(), num_nodes=12):
+        log = []
+        network = transport.network
+        for node in range(num_nodes):
+            network.register(
+                node,
+                lambda message, log=log: log.append(
+                    (transport.simulator.now, message.src, message.dst,
+                     message.msg_type, message.size_bytes)
+                ),
+            )
+        for node in down:
+            network.set_down(node)
+        transport.scalar_broadcast = scalar
+        results = [
+            transport.broadcast(
+                origin, "b", "payload" * 4, recipients=range(num_nodes)
+            )
+            for origin in (0, 3)
+        ]
+        transport.flush()
+        return results, log, transport.stats
+
+    def test_vector_matches_scalar(self):
+        v_results, v_log, v_stats = self._delivery_log(
+            build_transport(num_nodes=12, seed=21), scalar=False
+        )
+        s_results, s_log, s_stats = self._delivery_log(
+            build_transport(num_nodes=12, seed=21), scalar=True
+        )
+        assert v_log == s_log  # same delivery times, order, and contents
+        assert stats_fingerprint(v_stats) == stats_fingerprint(s_stats)
+        for v, s in zip(v_results, s_results):
+            assert v.targets == s.targets
+            assert list(v.sent) == list(s.sent)
+            assert list(v.delivered) == list(s.delivered)
+
+    def test_vector_matches_scalar_with_down_recipients(self):
+        v_results, v_log, v_stats = self._delivery_log(
+            build_transport(num_nodes=12, seed=8), scalar=False, down=(2, 7)
+        )
+        s_results, s_log, s_stats = self._delivery_log(
+            build_transport(num_nodes=12, seed=8), scalar=True, down=(2, 7)
+        )
+        assert v_log == s_log
+        assert stats_fingerprint(v_stats) == stats_fingerprint(s_stats)
+        for v, s in zip(v_results, s_results):
+            assert list(v.delivered) == list(s.delivered)
+            assert not v.delivered[v.targets.index(2)]
+
+    def test_loss_falls_back_to_scalar_draw_order(self):
+        vector = build_transport(num_nodes=8, seed=13, drop=0.4)
+        scalar = build_transport(num_nodes=8, seed=13, drop=0.4)
+        v = vector.broadcast(0, "b", "x" * 20, recipients=range(8))
+        scalar.scalar_broadcast = True
+        s = scalar.broadcast(0, "b", "x" * 20, recipients=range(8))
+        assert list(v.sent) == list(s.sent)
+        assert stats_fingerprint(vector.stats) == stats_fingerprint(scalar.stats)
+
+    def test_down_origin_sends_nothing_either_way(self):
+        for scalar in (False, True):
+            transport = build_transport(num_nodes=6, seed=3)
+            transport.scalar_broadcast = scalar
+            transport.network.set_down(0)
+            result = transport.broadcast(0, "b", "p", recipients=range(6))
+            assert not result.sent.any()
+            assert transport.stats.total_messages == 0
+
+    def test_duplicate_recipients_match_scalar_accounting(self):
+        # Caller-supplied duplicates must charge per message on both paths
+        # (the bulk per-destination update would collapse them, so the
+        # vectorized path steps aside).
+        vector = build_transport(num_nodes=6, seed=9)
+        scalar = build_transport(num_nodes=6, seed=9)
+        scalar.scalar_broadcast = True
+        recipients = [1, 1, 2, 3]
+        v = vector.broadcast(0, "b", "p" * 8, recipients=recipients)
+        s = scalar.broadcast(0, "b", "p" * 8, recipients=recipients)
+        vector.flush()
+        scalar.flush()
+        assert list(v.sent) == list(s.sent)
+        assert stats_fingerprint(vector.stats) == stats_fingerprint(scalar.stats)
+        assert vector.stats.per_peer_received[1] == 2 * (40 + 8)
+
+    def test_listeners_force_scalar_path_and_see_every_message(self):
+        transport = build_transport(num_nodes=6, seed=3)
+        seen = []
+        transport.network.add_send_listener(lambda m: seen.append(m.dst))
+        transport.broadcast(0, "b", "p", recipients=range(6))
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_outcomes_materialize_lazily_and_cache(self):
+        transport = build_transport(num_nodes=6, seed=3)
+        result = transport.broadcast(0, "b", "p", recipients=range(6))
+        assert result._outcomes is None  # nothing allocated yet
+        outcomes = result.outcomes
+        assert [dst for dst, _ in outcomes] == [1, 2, 3, 4, 5]
+        assert all(o.delivered for _, o in outcomes)
+        assert result.outcomes is outcomes  # cached
+        assert result.delivered_to() == [1, 2, 3, 4, 5]
+        assert result.delivered_count() == 5
+
+    def test_record_message_block_matches_per_message_recording(self):
+        bulk = StatsCollector()
+        scalar = StatsCollector()
+        bulk.record_message_block("t", 64, src=3, dsts=[1, 2, 5], hops=2)
+        for dst in (1, 2, 5):
+            scalar.record_traffic("t", 64, hops=2, src=3, dst=dst)
+        assert stats_fingerprint(bulk) == stats_fingerprint(scalar)
+        assert bulk.fingerprint_bytes() == scalar.fingerprint_bytes()
+        assert bulk.digest() == scalar.digest()
+
+    def test_pair_factors_match_scalar_mix(self):
+        import numpy as np
+
+        from repro.sim.network import pair_factors
+
+        network = build_transport(num_nodes=1).network
+        dsts = np.array([1, 7, 123, 10_000, 2 ** 40], dtype=np.uint64)
+        vectorized = pair_factors(5, dsts)
+        for dst, factor in zip(dsts.tolist(), vectorized.tolist()):
+            assert factor == network._pair_base_latency(5, int(dst))
+
+    def test_are_up_matches_is_up(self):
+        network = build_transport(num_nodes=6).network
+        network.set_down(2)
+        network.unregister(4)
+        flags = network.are_up([0, 2, 4, 5])
+        assert list(flags) == [network.is_up(n) for n in (0, 2, 4, 5)]
 
 
 class TestTransportErrors:
