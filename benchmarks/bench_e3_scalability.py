@@ -229,7 +229,7 @@ def test_e3_transport_scalability(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def run_broadcast_round(num_members, senders, scalar, seed=3):
+def run_broadcast_round(num_members, senders, scalar, seed=3, codec=None):
     """One PACE-style propagation round at large membership.
 
     ``senders`` origins each broadcast one 256-byte payload to all
@@ -237,7 +237,10 @@ def run_broadcast_round(num_members, senders, scalar, seed=3):
     bundle store does); the round then drains.  ``scalar`` forces the
     message-per-recipient path (the PR 1 stack) — both paths produce
     byte-identical stats, so the digest doubles as a correctness check.
+    ``codec`` selects a wire-format codec table (accounting-only; the
+    event stream is identical across the whole sweep).
     """
+    from repro.sim.codec import make_codec_table
     from repro.sim.engine import Simulator
     from repro.sim.network import PhysicalNetwork
     from repro.sim.stats import StatsCollector
@@ -246,7 +249,11 @@ def run_broadcast_round(num_members, senders, scalar, seed=3):
     simulator = Simulator(seed=seed)
     stats = StatsCollector()
     network = PhysicalNetwork(simulator, stats=stats)
-    transport = Transport(network, stats=stats)
+    transport = Transport(
+        network,
+        stats=stats,
+        codec=make_codec_table(codec) if codec else None,
+    )
     transport.scalar_broadcast = scalar
     delivered = [0]
 
@@ -322,3 +329,71 @@ def test_e3_broadcast_round_scalability(benchmark):
         # Acceptance bar: the 10k-member round is >= 2x faster than the
         # PR 1 message-per-recipient stack.
         assert speedup >= 2.0, f"broadcast speedup {speedup:.2f}x < 2x"
+
+
+# ---------------------------------------------------------------------------
+# E3d codec axis: the E3c broadcast round under each wire-format codec,
+# scalar and vectorized paths digest-checked against each other.
+# ---------------------------------------------------------------------------
+
+
+def run_broadcast_codec_rows(codecs):
+    # The workload's msg_type is pace's broadcast; importing the protocol
+    # module registers its traffic class so the tuned table dispatches.
+    import repro.p2pclass.pace  # noqa: F401
+
+    rows = []
+    for codec in codecs:
+        per_path = {}
+        for label, scalar in (("scalar", True), ("vectorized", False)):
+            elapsed, stats, delivered, _ = run_broadcast_round(
+                BROADCAST_MEMBERS, BROADCAST_SENDERS, scalar, codec=codec
+            )
+            per_path[label] = stats
+            rows.append(
+                [
+                    codec,
+                    label,
+                    stats.total_messages,
+                    stats.total_bytes,
+                    stats.total_wire_bytes,
+                    round(elapsed, 3),
+                    stats.digest()[:16],
+                ]
+            )
+        # Byte-identical including the wire dimension, at scale — the
+        # vectorized block arithmetic must match per-message recording.
+        assert (
+            per_path["scalar"].fingerprint_bytes()
+            == per_path["vectorized"].fingerprint_bytes()
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e3-scalability")
+def test_e3_broadcast_codec_axis(benchmark, request):
+    from repro.sim.codec import codec_names
+
+    selected = request.config.getoption("--codec")
+    codecs = (selected,) if selected else codec_names()
+    rows = benchmark.pedantic(
+        run_broadcast_codec_rows, args=(codecs,), rounds=1, iterations=1
+    )
+    headers = [
+        "codec", "path", "messages", "raw_bytes", "wire_bytes", "seconds",
+        "stats_digest",
+    ]
+    table = format_table(
+        f"E3d  Broadcast round codec axis at {BROADCAST_MEMBERS} members",
+        headers,
+        rows,
+    )
+    write_results("e3_broadcast_codec_axis", table, headers=headers, rows=rows)
+
+    raws = {row[3] for row in rows}
+    assert len(raws) == 1  # codecs never change the raw dimension
+    for row in rows:
+        if row[0] == "identity":
+            assert row[4] == row[3]
+        else:
+            assert row[4] < row[3], row

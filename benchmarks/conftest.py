@@ -1,0 +1,19 @@
+"""Benchmark-suite pytest options.
+
+``--codec NAME`` narrows the codec-sweep benchmarks (E2b's codec table,
+E3d's broadcast codec axis) to one registered wire-format codec, e.g.::
+
+    PYTHONPATH=src:benchmarks pytest benchmarks/bench_e2_communication.py --codec gzip-model
+
+Without the flag the sweeps cover every registered codec table.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--codec",
+        action="store",
+        default=None,
+        help="restrict codec-sweep benchmarks to one codec table "
+        "(see repro.sim.codec.codec_names())",
+    )

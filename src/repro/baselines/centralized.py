@@ -27,12 +27,19 @@ from repro.p2pclass.base import (
     TaggedVector,
     binary_problems,
 )
+from repro.sim.codec import register_traffic_class
 from repro.sim.messages import Message
 from repro.sim.scenario import Scenario
 
 MSG_DATA_UPLOAD = "central.data_upload"
 MSG_QUERY = "central.query"
 MSG_PREDICTION = "central.prediction"
+
+# Wire-format hints: raw training data and queries are sparse vectors;
+# prediction responses are small score maps (control traffic).
+register_traffic_class(MSG_DATA_UPLOAD, "vector")
+register_traffic_class(MSG_QUERY, "vector")
+register_traffic_class(MSG_PREDICTION, "control")
 
 
 @dataclass

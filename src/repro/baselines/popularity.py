@@ -15,9 +15,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ml.sparse import SparseVector
 from repro.p2pclass.base import P2PTagClassifier
+from repro.sim.codec import register_traffic_class
 from repro.sim.messages import Message
 
 MSG_COUNTS = "popularity.counts"
+
+# Wire-format hint: tag-count maps are schema-repetitive short messages —
+# the shared-dictionary model's sweet spot.
+register_traffic_class(MSG_COUNTS, "counts")
 
 
 class PopularityTagger(P2PTagClassifier):

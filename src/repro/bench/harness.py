@@ -51,6 +51,7 @@ class ExperimentSetting:
     interest_concentration: float = 0.5
     overlay: str = "chord"
     churn: str = "none"
+    codec: str = "identity"
     mean_session: float = 600.0
     mean_downtime: float = 60.0
     train_fraction: float = 0.2
@@ -109,6 +110,7 @@ def run_experiment(setting: ExperimentSetting) -> ExperimentResult:
             algorithm=setting.algorithm,
             overlay=setting.overlay,
             churn=setting.churn,
+            codec=setting.codec,
             mean_session=setting.mean_session,
             mean_downtime=setting.mean_downtime,
             train_fraction=setting.train_fraction,
@@ -137,6 +139,7 @@ def build_system(setting: ExperimentSetting) -> P2PDocTaggerSystem:
             algorithm=setting.algorithm,
             overlay=setting.overlay,
             churn=setting.churn,
+            codec=setting.codec,
             mean_session=setting.mean_session,
             mean_downtime=setting.mean_downtime,
             train_fraction=setting.train_fraction,

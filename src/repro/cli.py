@@ -69,6 +69,7 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
             algorithm=algorithm,
             overlay=args.overlay,
             churn=args.churn,
+            codec=args.codec,
             train_fraction=args.train_fraction,
             threshold=args.threshold,
             seed=args.seed,
@@ -82,6 +83,12 @@ def _overlay_choices() -> tuple:
     return overlay_names()
 
 
+def _codec_choices() -> tuple:
+    from repro.sim.codec import codec_names
+
+    return codec_names()
+
+
 def _add_system_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--overlay", choices=_overlay_choices(), default="chord",
@@ -89,6 +96,10 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--churn", choices=("none", "exponential", "weibull", "pareto"),
         default="none",
+    )
+    parser.add_argument(
+        "--codec", choices=_codec_choices(), default="identity",
+        help="wire-format codec table for traffic accounting",
     )
     parser.add_argument("--train-fraction", type=float, default=0.2)
     parser.add_argument("--threshold", type=float, default=0.5)

@@ -45,6 +45,7 @@ class SystemConfig:
     algorithm: str = "pace"
     overlay: str = "chord"
     churn: str = "none"
+    codec: str = "identity"  # wire-format codec table (repro.sim.codec)
     mean_session: float = 600.0
     mean_downtime: float = 60.0
     train_fraction: float = 0.2  # the paper's 20 % manual-tag protocol
@@ -189,6 +190,7 @@ class P2PDocTaggerSystem:
                 num_peers=num_peers,
                 overlay=self.config.overlay,
                 churn=self.config.churn,
+                codec=self.config.codec,
                 mean_session=self.config.mean_session,
                 mean_downtime=self.config.mean_downtime,
                 shard=ShardSpec(num_peers=num_peers, seed=self.config.seed),

@@ -28,11 +28,18 @@ from repro.overlay.superpeer import SuperPeerDirectory
 from repro.p2pclass.base import P2PTagClassifier, PeerData, binary_problems
 from repro.p2pclass.cascade import CascadeModel, cascade_merge
 from repro.p2pclass.voting import weighted_score
+from repro.sim.codec import register_traffic_class
 from repro.sim.scenario import Scenario
 
 MSG_MODEL_UPLOAD = "cempar.model_upload"
 MSG_QUERY = "cempar.query"
 MSG_PREDICTION = "cempar.prediction"
+
+# Wire-format hints: uploads carry model bundles, queries carry sparse
+# document vectors, predictions are small score maps (control traffic).
+register_traffic_class(MSG_MODEL_UPLOAD, "model")
+register_traffic_class(MSG_QUERY, "vector")
+register_traffic_class(MSG_PREDICTION, "control")
 
 
 @dataclass

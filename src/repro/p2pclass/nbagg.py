@@ -26,11 +26,18 @@ from repro.ml.naive_bayes import MultinomialNB, NBSufficientStats
 from repro.ml.sparse import SparseVector
 from repro.overlay.superpeer import SuperPeerDirectory
 from repro.p2pclass.base import P2PTagClassifier, PeerData
+from repro.sim.codec import register_traffic_class
 from repro.sim.scenario import Scenario
 
 MSG_STATS_UPLOAD = "nbagg.stats_upload"
 MSG_QUERY = "nbagg.query"
 MSG_PREDICTION = "nbagg.prediction"
+
+# Wire-format hints: sufficient-statistics uploads compress like model
+# bundles; queries carry sparse vectors; predictions are control frames.
+register_traffic_class(MSG_STATS_UPLOAD, "model")
+register_traffic_class(MSG_QUERY, "vector")
+register_traffic_class(MSG_PREDICTION, "control")
 
 
 @dataclass

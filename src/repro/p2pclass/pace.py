@@ -29,9 +29,14 @@ from repro.ml.lsh import RandomHyperplaneLSH
 from repro.ml.sparse import SparseVector
 from repro.p2pclass.base import P2PTagClassifier, PeerData, binary_problems
 from repro.p2pclass.voting import weighted_score
+from repro.sim.codec import register_traffic_class
 from repro.sim.scenario import Scenario
 
 MSG_MODEL_BROADCAST = "pace.model_broadcast"
+
+# Wire-format hint: PACE propagates serialized model bundles, the traffic
+# that general-purpose compression helps most (shared by private-pace).
+register_traffic_class(MSG_MODEL_BROADCAST, "model")
 
 
 @dataclass

@@ -8,6 +8,7 @@ discrete-event replacement providing the same observables:
   (:mod:`repro.sim.network`),
 - churn processes driving joins and failures (:mod:`repro.sim.churn`),
 - size-accounted messages (:mod:`repro.sim.messages`),
+- wire-format codec size models (:mod:`repro.sim.codec`),
 - activity logging and statistics (:mod:`repro.sim.stats`),
 - training-data distribution across peers (:mod:`repro.sim.distribution`),
 - scenario configuration and running (:mod:`repro.sim.scenario`), and
@@ -18,6 +19,13 @@ from repro.sim.engine import Simulator, Event
 from repro.sim.messages import Message, payload_size
 from repro.sim.network import PhysicalNetwork, LatencyModel, pair_mix64, pair_seed
 from repro.sim.transport import Transport, Outcome, BroadcastOutcome
+from repro.sim.codec import (
+    Codec,
+    CodecTable,
+    codec_names,
+    make_codec_table,
+    register_traffic_class,
+)
 from repro.sim.churn import (
     ChurnModel,
     NoChurn,
@@ -45,6 +53,11 @@ __all__ = [
     "Transport",
     "Outcome",
     "BroadcastOutcome",
+    "Codec",
+    "CodecTable",
+    "codec_names",
+    "make_codec_table",
+    "register_traffic_class",
     "ChurnModel",
     "NoChurn",
     "ExponentialChurn",

@@ -1,0 +1,325 @@
+"""Wire-format codec models: what traffic costs *after* encoding.
+
+The paper's communication tables treat every byte as raw payload, but real
+deployments encode different traffic very differently — a gzipped model
+bundle, a delta-encoded sparse vector, and a tiny control message have
+wildly different wire footprints.  This module supplies deterministic
+*size-model* codecs: pure integer functions from a message's raw
+(estimated-serialized) size to its wire size.  No actual compression
+happens — like :func:`repro.sim.messages.payload_size`, these are honest
+accounting models, chosen so communication experiments can sweep codec
+choices without perturbing event timing.
+
+Three layers:
+
+- :class:`Codec` — one size model (``wire_size_of(raw) -> int``) with the
+  hard invariant ``0 <= wire <= raw`` for every registered codec;
+- :class:`CodecTable` — per-``msg_type`` dispatch: exact message-type
+  entries, then the traffic-class registry (protocols declare what kind of
+  payload each of their message types carries via
+  :func:`register_traffic_class`), then a default codec;
+- the registry — :func:`make_codec_table` builds a table by name, exactly
+  as :func:`repro.overlay.make_overlay` builds overlays.  ``identity`` is
+  the default everywhere and is accounting-invisible: wire == raw, so every
+  pre-codec digest is preserved byte-for-byte.
+
+Determinism: all arithmetic is exact integer math (per-mille ratios with
+ceiling division), so wire-byte totals are bit-identical across platforms
+and runs — the golden fingerprint suite covers them the moment a
+non-identity codec is active.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _ceil_permille(raw: int, permille: int) -> int:
+    """``ceil(raw * permille / 1000)`` in exact integer arithmetic."""
+    return (raw * permille + 999) // 1000
+
+
+class Codec:
+    """One wire-format size model.
+
+    ``wire_size_of`` maps a raw byte count to the modelled post-encoding
+    byte count.  Subclasses implement :meth:`_encode_size`; the base class
+    enforces the invariants every codec must satisfy — wire sizes are
+    clamped into ``[0, raw]`` (an encoder that would inflate a message
+    stores it raw instead, exactly how real formats handle incompressible
+    input) and zero bytes stay zero.
+    """
+
+    name: str = "codec"
+
+    def wire_size_of(self, raw_bytes: int) -> int:
+        if raw_bytes <= 0:
+            return 0
+        return max(0, min(raw_bytes, self._encode_size(raw_bytes)))
+
+    def _encode_size(self, raw_bytes: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class IdentityCodec(Codec):
+    """No encoding: wire == raw.  The accounting-invisible default."""
+
+    name = "identity"
+
+    def _encode_size(self, raw_bytes: int) -> int:
+        return raw_bytes
+
+
+class GzipModelCodec(Codec):
+    """DEFLATE-style general-purpose compression model.
+
+    A fixed header/trailer overhead plus a constant compression ratio —
+    the shape gzip shows on serialized model bundles (repetitive struct
+    framing, quantized floats).  Small messages hit the ``min(raw, ...)``
+    clamp and ride uncompressed, as gzip's stored-block fallback does.
+    """
+
+    name = "gzip-model"
+
+    def __init__(self, permille: int = 420, header_bytes: int = 18) -> None:
+        self.permille = permille
+        self.header_bytes = header_bytes
+
+    def _encode_size(self, raw_bytes: int) -> int:
+        return self.header_bytes + _ceil_permille(raw_bytes, self.permille)
+
+
+class DeltaSparseCodec(Codec):
+    """Delta + varint encoding model for sorted sparse structures.
+
+    Tag vectors and sparse feature maps store sorted integer ids whose
+    gaps varint-encode far below fixed-width ids; values keep most of
+    their width.  Modelled as a small frame plus a constant ratio.
+    """
+
+    name = "delta-sparse"
+
+    def __init__(self, permille: int = 550, header_bytes: int = 8) -> None:
+        self.permille = permille
+        self.header_bytes = header_bytes
+
+    def _encode_size(self, raw_bytes: int) -> int:
+        return self.header_bytes + _ceil_permille(raw_bytes, self.permille)
+
+
+class DictRatioCodec(Codec):
+    """Shared-dictionary compression model (zstd-with-dictionary shape).
+
+    The dictionary preamble is amortized only past a break-even size:
+    below ``dictionary_bytes`` messages ride raw; above it the tail
+    compresses hard.  This is the piecewise shape dictionary coders show
+    on short, schema-repetitive messages (control traffic, count maps).
+    """
+
+    name = "dict-ratio"
+
+    def __init__(self, permille: int = 300, dictionary_bytes: int = 64) -> None:
+        self.permille = permille
+        self.dictionary_bytes = dictionary_bytes
+
+    def _encode_size(self, raw_bytes: int) -> int:
+        if raw_bytes <= self.dictionary_bytes:
+            return raw_bytes
+        tail = raw_bytes - self.dictionary_bytes
+        return self.dictionary_bytes + _ceil_permille(tail, self.permille)
+
+
+# ---------------------------------------------------------------------------
+# Traffic-class registry: protocols declare what each message type carries.
+# ---------------------------------------------------------------------------
+
+#: msg_type -> traffic class ("model" | "vector" | "counts" | "control").
+#: Populated at import time by the protocol modules (zero call-site churn:
+#: declaring a class is the only codec-related line a protocol carries).
+_TRAFFIC_CLASSES: Dict[str, str] = {}
+
+#: bumped on every registration; tables use it to invalidate memoized
+#: resolutions, so a protocol module imported *after* a table already saw
+#: one of its message types still takes effect.
+_REGISTRY_VERSION = 0
+
+TRAFFIC_CLASSES = ("model", "vector", "counts", "control")
+
+
+def register_traffic_class(msg_type: str, traffic_class: str) -> None:
+    """Declare the payload kind carried by ``msg_type``.
+
+    Composite codec tables (``tuned``) dispatch on the class, so a protocol
+    module states *what* its messages carry and the table decides *how*
+    that compresses — the mapping stays swappable per experiment.
+    """
+    global _REGISTRY_VERSION
+    if traffic_class not in TRAFFIC_CLASSES:
+        raise ConfigurationError(
+            f"unknown traffic class {traffic_class!r}; "
+            f"expected one of {TRAFFIC_CLASSES}"
+        )
+    _TRAFFIC_CLASSES[msg_type] = traffic_class
+    _REGISTRY_VERSION += 1
+
+
+def traffic_class_of(msg_type: str) -> Optional[str]:
+    """The declared traffic class of ``msg_type``, or None."""
+    return _TRAFFIC_CLASSES.get(msg_type)
+
+
+# ---------------------------------------------------------------------------
+# Per-message-type dispatch.
+# ---------------------------------------------------------------------------
+
+
+class CodecTable:
+    """Per-``msg_type`` codec dispatch with an overridable default.
+
+    Resolution order: exact ``msg_type`` entry, then the message type's
+    registered traffic class, then the table default.  Resolutions are
+    memoized per message type (the per-send hot path is one dict hit) and
+    invalidated when the traffic-class registry grows, so a protocol
+    module imported after the table's first lookups still takes effect.
+
+    Tables are frozen at construction — the codec mapping is configuration,
+    not runtime state; build a new table (or assign ``Transport.codec``) to
+    change encodings mid-experiment.
+    """
+
+    def __init__(
+        self,
+        default: Optional[Codec] = None,
+        per_type: Optional[Mapping[str, Codec]] = None,
+        per_class: Optional[Mapping[str, Codec]] = None,
+        name: str = "custom",
+    ) -> None:
+        self.name = name
+        self.default = default or IdentityCodec()
+        self._per_type = dict(per_type or {})
+        self._per_class = dict(per_class or {})
+        self._resolved: Dict[str, Codec] = {}
+        self._resolved_version = _REGISTRY_VERSION
+        self._is_identity = all(
+            isinstance(codec, IdentityCodec)
+            for codec in (
+                self.default, *self._per_type.values(),
+                *self._per_class.values(),
+            )
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when every possible resolution is the identity codec —
+        the transport skips wire-size stamping entirely in that case.
+        Fixed at construction (traffic-class registrations only re-route
+        between the table's existing codecs, never add new ones)."""
+        return self._is_identity
+
+    def codec_for(self, msg_type: str) -> Codec:
+        if self._resolved_version != _REGISTRY_VERSION:
+            self._resolved.clear()
+            self._resolved_version = _REGISTRY_VERSION
+        codec = self._resolved.get(msg_type)
+        if codec is None:
+            codec = self._per_type.get(msg_type)
+            if codec is None:
+                traffic_class = traffic_class_of(msg_type)
+                codec = (
+                    self._per_class.get(traffic_class)
+                    if traffic_class is not None
+                    else None
+                ) or self.default
+            self._resolved[msg_type] = codec
+        return codec
+
+    def wire_size(self, msg_type: str, raw_bytes: int) -> int:
+        """Modelled wire bytes of one ``raw_bytes``-sized message."""
+        return self.codec_for(msg_type).wire_size_of(raw_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CodecTable({self.name!r}, default={self.default.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Factory registry (mirrors repro.overlay.make_overlay).
+# ---------------------------------------------------------------------------
+
+
+def _uniform(codec_factory: Callable[[], Codec], name: str) -> Callable[[], CodecTable]:
+    def build() -> CodecTable:
+        return CodecTable(default=codec_factory(), name=name)
+
+    return build
+
+
+def _tuned() -> CodecTable:
+    """The per-traffic-class composite: each payload kind gets the codec
+    that models its real-world encoding (model bundles gzip well, sparse
+    vectors delta-encode, count maps dictionary-compress, control traffic
+    is too small to bother)."""
+    return CodecTable(
+        default=IdentityCodec(),
+        per_class={
+            "model": GzipModelCodec(),
+            "vector": DeltaSparseCodec(),
+            "counts": DictRatioCodec(),
+            "control": IdentityCodec(),
+        },
+        name="tuned",
+    )
+
+
+_CODEC_TABLES: Dict[str, Callable[[], CodecTable]] = {
+    "identity": _uniform(IdentityCodec, "identity"),
+    "gzip-model": _uniform(GzipModelCodec, "gzip-model"),
+    "delta-sparse": _uniform(DeltaSparseCodec, "delta-sparse"),
+    "dict-ratio": _uniform(DictRatioCodec, "dict-ratio"),
+    "tuned": _tuned,
+}
+
+
+def codec_names() -> Tuple[str, ...]:
+    """Registered codec-table names, registration order."""
+    return tuple(_CODEC_TABLES)
+
+
+def registered_codecs() -> List[Codec]:
+    """One instance of every size model reachable through the registry.
+
+    Derived from the registered tables (defaults plus composite entries),
+    deduplicated by class and parameters — a newly registered table
+    automatically enrolls its codecs (including re-parameterized instances
+    of an existing class) in the property-test contract.
+    """
+    codecs: Dict[tuple, Codec] = {}
+    for factory in _CODEC_TABLES.values():
+        table = factory()
+        for codec in (
+            table.default,
+            *table._per_type.values(),
+            *table._per_class.values(),
+        ):
+            key = (type(codec).__name__, tuple(sorted(vars(codec).items())))
+            codecs.setdefault(key, codec)
+    return list(codecs.values())
+
+
+def make_codec_table(name: str) -> CodecTable:
+    """Build a :class:`CodecTable` by registered name.
+
+    Uniform names apply one codec to all traffic; ``tuned`` is the
+    per-traffic-class composite.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` listing the choices.
+    """
+    factory = _CODEC_TABLES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; expected one of {codec_names()}"
+        )
+    return factory()

@@ -59,8 +59,12 @@ def payload_size(payload: Any) -> int:
 class Message:
     """One simulated network message.
 
-    ``size_bytes`` is computed from the payload at construction unless given
-    explicitly (e.g. to model compression).
+    ``size_bytes`` is the raw (pre-encoding) size, computed from the payload
+    at construction unless given explicitly.  ``wire_bytes`` is the modelled
+    post-encoding size — stamped by the transport's
+    :class:`~repro.sim.codec.CodecTable` and defaulting to ``size_bytes``
+    (identity encoding), so messages built outside the transport account
+    raw == wire exactly as before codecs existed.
     """
 
     src: int
@@ -70,14 +74,21 @@ class Message:
     size_bytes: int = -1
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     hops: int = 1
+    wire_bytes: int = -1
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
             self.size_bytes = _HEADER_BYTES + payload_size(self.payload)
+        if self.wire_bytes < 0:
+            self.wire_bytes = self.size_bytes
 
     def total_bytes(self) -> int:
-        """Bytes on the wire including per-hop retransmission."""
+        """Raw bytes on the wire including per-hop retransmission."""
         return self.size_bytes * max(1, self.hops)
+
+    def total_wire_bytes(self) -> int:
+        """Post-encoding bytes on the wire including per-hop retransmission."""
+        return self.wire_bytes * max(1, self.hops)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

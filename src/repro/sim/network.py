@@ -312,6 +312,7 @@ class PhysicalNetwork:
         msg_type: str,
         payload: Any,
         size_bytes: int,
+        wire_bytes: Optional[int] = None,
     ) -> np.ndarray:
         """Send one identical-size payload to many destinations, vectorized.
 
@@ -329,18 +330,28 @@ class PhysicalNetwork:
         listeners attached, or a down source), which this fast path does
         not handle; ``dsts`` must be distinct and must not contain ``src``.
 
+        ``wire_bytes`` is the codec-modelled post-encoding size (defaults
+        to ``size_bytes``, i.e. identity); it flows into the wire-byte
+        stats dimension and onto lazily materialized messages, never into
+        delivery timing.
+
         Returns the per-destination sent flags (all True — a live source
         with no loss model queues every message).
         """
         count = len(dsts)
-        self.stats.record_message_block(msg_type, size_bytes, src=src, dsts=dsts)
+        if wire_bytes is None:
+            wire_bytes = size_bytes
+        self.stats.record_message_block(
+            msg_type, size_bytes, src=src, dsts=dsts, wire_bytes=wire_bytes
+        )
         factors = pair_factors(src, np.asarray(dsts, dtype=np.uint64))
         sizes = np.full(count, float(size_bytes))
         delays = factors * self.latency.delays_for(sizes, self.simulator.rng)
         self.simulator.schedule_batch(
             delays.tolist(),
             self._deliver_lazy,
-            ((src, dst, msg_type, payload, size_bytes) for dst in dsts),
+            ((src, dst, msg_type, payload, size_bytes, wire_bytes)
+             for dst in dsts),
         )
         return np.ones(count, dtype=bool)
 
@@ -352,7 +363,13 @@ class PhysicalNetwork:
         handler(message)
 
     def _deliver_lazy(
-        self, src: int, dst: int, msg_type: str, payload: Any, size_bytes: int
+        self,
+        src: int,
+        dst: int,
+        msg_type: str,
+        payload: Any,
+        size_bytes: int,
+        wire_bytes: int,
     ) -> None:
         """Deliver a broadcast-block message, materializing it on demand.
 
@@ -370,5 +387,6 @@ class PhysicalNetwork:
                 msg_type=msg_type,
                 payload=payload,
                 size_bytes=size_bytes,
+                wire_bytes=wire_bytes,
             )
         )

@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.errors import ConfigurationError
 from repro.overlay import make_overlay, overlay_names
 from repro.overlay.base import Overlay
+from repro.sim.codec import codec_names, make_codec_table, register_traffic_class
 from repro.sim.churn import (
     ChurnDriver,
     ChurnModel,
@@ -44,6 +45,7 @@ class ScenarioConfig:
     unstructured_degree: int = 4
     stabilize_interval: float = 30.0
     shard: ShardSpec = field(default_factory=lambda: ShardSpec(num_peers=32))
+    codec: str = "identity"  # any name in repro.sim.codec.codec_names()
     seed: int = 0
 
     def validate(self) -> None:
@@ -53,6 +55,8 @@ class ScenarioConfig:
             raise ConfigurationError(f"unknown overlay {self.overlay!r}")
         if self.churn not in ("none", "exponential", "weibull", "pareto"):
             raise ConfigurationError(f"unknown churn model {self.churn!r}")
+        if self.codec not in codec_names():
+            raise ConfigurationError(f"unknown codec {self.codec!r}")
         if self.shard.num_peers != self.num_peers:
             raise ConfigurationError(
                 "shard.num_peers must equal num_peers "
@@ -102,8 +106,12 @@ class Scenario:
             stats=self.stats,
         )
         self.overlay = config.build_overlay()
+        self.codec_table = make_codec_table(config.codec)
         self.transport = Transport(
-            self.network, overlay=self.overlay, stats=self.stats
+            self.network,
+            overlay=self.overlay,
+            stats=self.stats,
+            codec=self.codec_table,
         )
         self.peer_addresses: List[int] = list(range(config.num_peers))
         for address in self.peer_addresses:
@@ -134,6 +142,9 @@ class Scenario:
     def _on_peer_join(self, address: int) -> None:
         self.overlay.join(address)
         self.stats.increment("churn_joins")
+
+    #: maintenance probes are tiny control frames — no codec helps them
+    MAINTENANCE_MSG_TYPE = "overlay.maintenance"
 
     #: bytes of one maintenance probe (ping/pong + a few table entries)
     MAINTENANCE_PROBE_BYTES = 48
@@ -168,7 +179,7 @@ class Scenario:
                 self.transport.charge(
                     src=address,
                     dst=neighbor,
-                    msg_type="overlay.maintenance",
+                    msg_type=self.MAINTENANCE_MSG_TYPE,
                     size_bytes=self.MAINTENANCE_PROBE_BYTES,
                 )
 
@@ -191,3 +202,6 @@ class Scenario:
     def run(self, duration: float) -> None:
         """Advance virtual time by ``duration`` seconds."""
         self.simulator.run(until=self.simulator.now + duration)
+
+
+register_traffic_class(Scenario.MAINTENANCE_MSG_TYPE, "control")

@@ -59,22 +59,35 @@ class StatsCollector:
     def __init__(self) -> None:
         self.messages_by_type: Counter = Counter()
         self.bytes_by_type: Counter = Counter()
+        self.wire_bytes_by_type: Counter = Counter()
         self.hops_by_type: Counter = Counter()
         self.counters: Counter = Counter()
         self.series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
         self.per_peer_bytes: Counter = Counter()
+        self.per_peer_wire_bytes: Counter = Counter()
         self.per_peer_received: Counter = Counter()
         self.log = ActivityLog()
+        #: True once any recorded message's wire size diverged from its raw
+        #: size (i.e. a non-identity codec touched this collector).  Gates
+        #: the compressed columns in :meth:`fingerprint` and
+        #: :meth:`traffic_table` so identity-codec runs stay byte-identical
+        #: to the pre-codec stack.
+        self._compressed = False
 
     # -- traffic -----------------------------------------------------------
 
     def record_message(self, message: Message) -> None:
         total = message.total_bytes()
+        wire_total = message.total_wire_bytes()
         self.messages_by_type[message.msg_type] += 1
         self.bytes_by_type[message.msg_type] += total
+        self.wire_bytes_by_type[message.msg_type] += wire_total
         self.hops_by_type[message.msg_type] += message.hops
         self.per_peer_bytes[message.src] += total
+        self.per_peer_wire_bytes[message.src] += wire_total
         self.per_peer_received[message.dst] += message.size_bytes
+        if wire_total != total:
+            self._compressed = True
 
     def record_traffic(
         self,
@@ -83,20 +96,30 @@ class StatsCollector:
         hops: int = 1,
         src: Optional[int] = None,
         dst: Optional[int] = None,
+        wire_bytes: Optional[int] = None,
     ) -> None:
         """Account one message's traffic without a :class:`Message` object.
 
         Same arithmetic as :meth:`record_message` — used for modelled-only
         costs (maintenance probes) so they need no per-probe allocation.
+        ``wire_bytes`` is the post-encoding size; omitted means identity
+        (wire == raw), matching :class:`~repro.sim.messages.Message`.
         """
+        if wire_bytes is None:
+            wire_bytes = size_bytes
         total = size_bytes * max(1, hops)
+        wire_total = wire_bytes * max(1, hops)
         self.messages_by_type[msg_type] += 1
         self.bytes_by_type[msg_type] += total
+        self.wire_bytes_by_type[msg_type] += wire_total
         self.hops_by_type[msg_type] += hops
         if src is not None:
             self.per_peer_bytes[src] += total
+            self.per_peer_wire_bytes[src] += wire_total
         if dst is not None:
             self.per_peer_received[dst] += size_bytes
+        if wire_total != total:
+            self._compressed = True
 
     def record_message_block(
         self,
@@ -105,24 +128,33 @@ class StatsCollector:
         src: int,
         dsts: Sequence[int],
         hops: int = 1,
+        wire_bytes: Optional[int] = None,
     ) -> None:
         """Account a one-to-many block in bulk (vectorized broadcast path).
 
         Exactly equivalent to ``len(dsts)`` :meth:`record_traffic` calls with
-        the same ``msg_type``/``size_bytes``/``src``/``hops`` — the per-type
-        and per-src counters are bumped with one arithmetic operation each,
-        and the per-destination received bytes in one ``Counter.update``.
-        ``dsts`` must be distinct addresses (broadcast recipient sets are).
+        the same ``msg_type``/``size_bytes``/``src``/``hops``/``wire_bytes``
+        — the per-type and per-src counters are bumped with one arithmetic
+        operation each, and the per-destination received bytes in one
+        ``Counter.update``.  ``dsts`` must be distinct addresses (broadcast
+        recipient sets are).
         """
         count = len(dsts)
         if count == 0:
             return
+        if wire_bytes is None:
+            wire_bytes = size_bytes
         total = size_bytes * max(1, hops)
+        wire_total = wire_bytes * max(1, hops)
         self.messages_by_type[msg_type] += count
         self.bytes_by_type[msg_type] += total * count
+        self.wire_bytes_by_type[msg_type] += wire_total * count
         self.hops_by_type[msg_type] += hops * count
         self.per_peer_bytes[src] += total * count
+        self.per_peer_wire_bytes[src] += wire_total * count
         self.per_peer_received.update(dict.fromkeys(dsts, size_bytes))
+        if wire_total != total:
+            self._compressed = True
 
     @property
     def total_messages(self) -> int:
@@ -132,8 +164,21 @@ class StatsCollector:
     def total_bytes(self) -> int:
         return sum(self.bytes_by_type.values())
 
+    @property
+    def total_wire_bytes(self) -> int:
+        """Post-encoding bytes: what actually crossed the modelled wire."""
+        return sum(self.wire_bytes_by_type.values())
+
+    @property
+    def has_compressed_traffic(self) -> bool:
+        """True once any wire size diverged from its raw size."""
+        return self._compressed
+
     def bytes_for(self, *msg_types: str) -> int:
         return sum(self.bytes_by_type.get(t, 0) for t in msg_types)
+
+    def wire_bytes_for(self, *msg_types: str) -> int:
+        return sum(self.wire_bytes_by_type.get(t, 0) for t in msg_types)
 
     def messages_for(self, *msg_types: str) -> int:
         return sum(self.messages_by_type.get(t, 0) for t in msg_types)
@@ -160,8 +205,15 @@ class StatsCollector:
         the activity log are excluded (they carry floats and free-form text,
         not accounting).  Keys are stringified so the snapshot serializes to
         canonical JSON.
+
+        The wire-byte counters appear only once compressed traffic exists:
+        under the identity codec wire == raw everywhere, and the snapshot —
+        hence every checked-in golden digest — is byte-identical to the
+        pre-codec stack.  The moment a non-identity codec touches the run,
+        both wire dimensions join the fingerprint and the determinism
+        contract covers them too.
         """
-        return {
+        snapshot = {
             "messages_by_type": {k: v for k, v in sorted(self.messages_by_type.items())},
             "bytes_by_type": {k: v for k, v in sorted(self.bytes_by_type.items())},
             "hops_by_type": {k: v for k, v in sorted(self.hops_by_type.items())},
@@ -169,6 +221,14 @@ class StatsCollector:
             "per_peer_received": {str(k): v for k, v in sorted(self.per_peer_received.items())},
             "counters": {k: v for k, v in sorted(self.counters.items())},
         }
+        if self._compressed:
+            snapshot["wire_bytes_by_type"] = {
+                k: v for k, v in sorted(self.wire_bytes_by_type.items())
+            }
+            snapshot["per_peer_wire_bytes"] = {
+                str(k): v for k, v in sorted(self.per_peer_wire_bytes.items())
+            }
+        return snapshot
 
     def fingerprint_bytes(self) -> bytes:
         """The fingerprint as canonical JSON bytes (byte-identity checks)."""
@@ -183,23 +243,50 @@ class StatsCollector:
     # -- reporting -------------------------------------------------------------
 
     def traffic_table(self) -> str:
-        """Human-readable per-type traffic summary."""
-        lines = [f"{'message type':<28}{'count':>10}{'bytes':>14}"]
+        """Human-readable per-type traffic summary.
+
+        Once compressed traffic exists the table grows ``wire`` and
+        ``ratio`` columns (wire/raw per type); identity-only runs keep the
+        original two-column layout.
+        """
+        compressed = self._compressed
+        header = f"{'message type':<28}{'count':>10}{'bytes':>14}"
+        if compressed:
+            header += f"{'wire':>14}{'ratio':>8}"
+        lines = [header]
+
+        def render(label: str, count: int, raw: int, wire: int) -> str:
+            line = f"{label:<28}{count:>10}{raw:>14}"
+            if compressed:
+                ratio = wire / raw if raw else 1.0
+                line += f"{wire:>14}{ratio:>8.2f}"
+            return line
+
         for msg_type in sorted(self.messages_by_type):
             lines.append(
-                f"{msg_type:<28}{self.messages_by_type[msg_type]:>10}"
-                f"{self.bytes_by_type[msg_type]:>14}"
+                render(
+                    msg_type,
+                    self.messages_by_type[msg_type],
+                    self.bytes_by_type[msg_type],
+                    self.wire_bytes_by_type[msg_type],
+                )
             )
-        lines.append(f"{'TOTAL':<28}{self.total_messages:>10}{self.total_bytes:>14}")
+        lines.append(
+            render("TOTAL", self.total_messages, self.total_bytes,
+                   self.total_wire_bytes)
+        )
         return "\n".join(lines)
 
     def merge(self, other: "StatsCollector") -> None:
         """Fold another collector's numbers into this one."""
         self.messages_by_type.update(other.messages_by_type)
         self.bytes_by_type.update(other.bytes_by_type)
+        self.wire_bytes_by_type.update(other.wire_bytes_by_type)
         self.hops_by_type.update(other.hops_by_type)
         self.counters.update(other.counters)
         self.per_peer_bytes.update(other.per_peer_bytes)
+        self.per_peer_wire_bytes.update(other.per_peer_wire_bytes)
         self.per_peer_received.update(other.per_peer_received)
+        self._compressed = self._compressed or other._compressed
         for name, points in other.series.items():
             self.series[name].extend(points)

@@ -15,9 +15,17 @@ destination up" check.  :class:`Transport` owns all of that:
 - :meth:`charge` — account traffic that is modelled but not simulated
   (maintenance probes, flood redundancy) through the same stats path.
 
+Every path sizes its traffic through the transport's wire-format
+:class:`~repro.sim.codec.CodecTable` (constructor argument, default
+``identity``): raw and post-encoding byte counts are recorded side by side,
+so communication experiments sweep codec choices with zero protocol churn.
+
 Determinism: batched sends consume the simulator RNG stream bit-identically
 to sequential sends (see :mod:`repro.sim.network`), so byte/hop/latency
-observables never depend on which path a protocol uses.
+observables never depend on which path a protocol uses.  Codecs are
+accounting-only — delivery timing derives from raw sizes — so a codec sweep
+never changes the event stream, and the identity default is byte-identical
+to the pre-codec stack.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.overlay.base import Overlay, RouteResult
+from repro.sim.codec import CodecTable, make_codec_table
 from repro.sim.messages import _HEADER_BYTES, Message, payload_size
 from repro.sim.network import PhysicalNetwork
 from repro.sim.stats import StatsCollector
@@ -119,6 +128,7 @@ class Transport:
         network: PhysicalNetwork,
         overlay: Optional[Overlay] = None,
         stats: Optional[StatsCollector] = None,
+        codec: Optional[CodecTable] = None,
     ) -> None:
         self.network = network
         self.simulator = network.simulator
@@ -130,6 +140,35 @@ class Transport:
         self.scalar_broadcast = (
             os.environ.get(SCALAR_BROADCAST_ENV, "") not in ("", "0")
         )
+        self.codec = codec if codec is not None else make_codec_table("identity")
+
+    # -- wire-format codec ---------------------------------------------------
+
+    @property
+    def codec(self) -> CodecTable:
+        """The wire-format codec table every send/charge is sized through.
+
+        Defaults to ``identity`` (wire == raw, accounting-invisible); swap
+        in a table from :func:`repro.sim.codec.make_codec_table` to model
+        per-message-type compression.  Codecs change *accounting only* —
+        delivery timing stays a function of the raw size, so codec sweeps
+        never perturb the event stream or the RNG draw order.
+        """
+        return self._codec
+
+    @codec.setter
+    def codec(self, table: CodecTable) -> None:
+        self._codec = table
+        # Cached so the identity fast path costs one attribute read per
+        # message instead of re-scanning the table.
+        self._codec_is_identity = table.is_identity
+
+    def _stamp_wire_size(self, message: Message) -> None:
+        """Stamp the codec-modelled wire size onto an outgoing message."""
+        if not self._codec_is_identity:
+            message.wire_bytes = self._codec.wire_size(
+                message.msg_type, message.size_bytes
+            )
 
     # -- unicast -------------------------------------------------------------
 
@@ -157,6 +196,7 @@ class Transport:
         return self.send_message(message)
 
     def send_message(self, message: Message) -> Outcome:
+        self._stamp_wire_size(message)
         sent = self.network.send(message)
         return Outcome(
             sent=sent,
@@ -166,6 +206,9 @@ class Transport:
 
     def send_batch(self, messages: Sequence[Message]) -> List[Outcome]:
         """Send a same-tick block; delivery draws are vectorized."""
+        if not self._codec_is_identity:
+            for message in messages:
+                self._stamp_wire_size(message)
         sent_flags = self.network.send_batch(messages)
         is_up = self.network.is_up
         return [
@@ -276,9 +319,17 @@ class Transport:
             and len(set(targets)) == len(targets)
         )
         if vectorizable:
-            sent = network.broadcast_block(origin, targets, msg_type, payload, size)
+            wire = (
+                size if self._codec_is_identity
+                else self._codec.wire_size(msg_type, size)
+            )
+            sent = network.broadcast_block(
+                origin, targets, msg_type, payload, size, wire_bytes=wire
+            )
             delivered = sent & network.are_up(targets)
         else:
+            # send_batch stamps each message's wire size; constructing
+            # without wire_bytes keeps one source of truth for it.
             messages = [
                 Message(
                     src=origin,
@@ -314,10 +365,15 @@ class Transport:
 
         Used for costs that are modelled analytically (maintenance probes,
         flood redundancy) so every byte in the experiment tables flows
-        through the same :class:`StatsCollector` arithmetic.
+        through the same :class:`StatsCollector` arithmetic — including the
+        codec's wire-size model.
         """
+        wire = (
+            None if self._codec_is_identity
+            else self._codec.wire_size(msg_type, size_bytes)
+        )
         self.stats.record_traffic(
-            msg_type, size_bytes, hops=hops, src=src, dst=dst
+            msg_type, size_bytes, hops=hops, src=src, dst=dst, wire_bytes=wire
         )
 
     # -- time ----------------------------------------------------------------

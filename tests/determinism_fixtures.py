@@ -13,7 +13,8 @@ that serialize to exact integers (message counts, bytes, hops, counters).
 
 from __future__ import annotations
 
-from typing import Tuple
+from functools import lru_cache
+from typing import Optional, Tuple
 
 from repro.baselines.centralized import CentralizedTagger
 from repro.baselines.localonly import LocalOnlyTagger
@@ -39,6 +40,15 @@ PROTOCOLS = ("pace", "private", "cempar", "nbagg", "centralized", "local", "popu
 #: environment variants: static network, leave/rejoin churn, message loss
 VARIANTS = ("none", "churn", "loss")
 
+#: the nightly large-N tier (REPRO_LARGE_GOLDEN=1): a subset of the matrix
+#: replayed at 100 peers, where heap-order bugs actually surface.  Loss is
+#: excluded (the drop/jitter RNG interleaving is already pinned at N=5 and
+#: the lossy large runs triple the tier's wall-clock for no new coverage).
+LARGE_NUM_PEERS = 100
+LARGE_OVERLAYS = ("chord", "superpeer")
+LARGE_PROTOCOLS = ("pace", "cempar", "nbagg")
+LARGE_VARIANTS = ("none", "churn")
+
 
 def _build_peer_data():
     corpus = DeliciousGenerator(
@@ -57,18 +67,39 @@ def _build_peer_data():
 _PEER_DATA, _TAGS = _build_peer_data()
 
 
-def build_scenario(overlay: str, variant: str, seed: int = 0) -> Scenario:
+@lru_cache(maxsize=1)
+def _build_large_peer_data():
+    """The 100-peer fixture corpus, built lazily: only the nightly tier
+    (and its regeneration script) pays for vectorizing it."""
+    corpus = DeliciousGenerator(
+        num_users=LARGE_NUM_PEERS,
+        seed=7,
+        num_tags=4,
+        docs_per_user_range=(2, 3),
+        vocabulary_size=150,
+        topic_words_per_tag=18,
+        doc_length_range=(10, 16),
+    ).generate()
+    pipeline = PreprocessingPipeline(dimension=2 ** 16)
+    return corpus_to_peer_data(corpus, pipeline), sorted(corpus.tag_universe())
+
+
+def build_scenario(
+    overlay: str, variant: str, seed: int = 0, num_peers: int = NUM_PEERS,
+    codec: str = "identity",
+) -> Scenario:
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
     scenario = Scenario(
         ScenarioConfig(
-            num_peers=NUM_PEERS,
+            num_peers=num_peers,
             overlay=overlay,
             churn="exponential" if variant == "churn" else "none",
             mean_session=40.0,
             mean_downtime=15.0,
             drop_probability=0.15 if variant == "loss" else 0.0,
-            shard=ShardSpec(num_peers=NUM_PEERS),
+            shard=ShardSpec(num_peers=num_peers),
+            codec=codec,
             seed=seed,
         )
     )
@@ -77,28 +108,39 @@ def build_scenario(overlay: str, variant: str, seed: int = 0) -> Scenario:
     return scenario
 
 
-def build_classifier(protocol: str, scenario: Scenario) -> P2PTagClassifier:
+def build_classifier(
+    protocol: str,
+    scenario: Scenario,
+    peer_data=None,
+    tags=None,
+) -> P2PTagClassifier:
+    peer_data = peer_data if peer_data is not None else _PEER_DATA
+    tags = tags if tags is not None else _TAGS
     if protocol == "pace":
-        return PaceClassifier(scenario, _PEER_DATA, _TAGS)
+        return PaceClassifier(scenario, peer_data, tags)
     if protocol == "private":
-        return PrivatePaceClassifier(scenario, _PEER_DATA, _TAGS)
+        return PrivatePaceClassifier(scenario, peer_data, tags)
     if protocol == "cempar":
         return CemparClassifier(
-            scenario, _PEER_DATA, _TAGS, CemparConfig(num_regions=1)
+            scenario, peer_data, tags, CemparConfig(num_regions=1)
         )
     if protocol == "nbagg":
-        return NBAggClassifier(scenario, _PEER_DATA, _TAGS)
+        return NBAggClassifier(scenario, peer_data, tags)
     if protocol == "centralized":
-        return CentralizedTagger(scenario, _PEER_DATA, _TAGS)
+        return CentralizedTagger(scenario, peer_data, tags)
     if protocol == "local":
-        return LocalOnlyTagger(scenario, _PEER_DATA, _TAGS)
+        return LocalOnlyTagger(scenario, peer_data, tags)
     if protocol == "popularity":
-        return PopularityTagger(scenario, _PEER_DATA, _TAGS)
+        return PopularityTagger(scenario, peer_data, tags)
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
 def run_training(
-    protocol: str, overlay: str, variant: str, scalar: bool = False
+    protocol: str,
+    overlay: str,
+    variant: str,
+    scalar: bool = False,
+    codec: str = "identity",
 ) -> Tuple[Scenario, P2PTagClassifier]:
     """Train one (protocol, overlay, variant) combo; returns the scenario
     (stats + clock) and the trained classifier.
@@ -106,10 +148,23 @@ def run_training(
     ``scalar=True`` forces both legacy drivers — the sequential ``_advance``
     stagger loop and the message-per-recipient broadcast path — which must
     produce byte-identical stats to the scheduled-batch/vectorized default.
+    ``codec`` selects the transport's wire-format codec table (the identity
+    default reproduces the pre-codec stack byte-for-byte).
     """
-    scenario = build_scenario(overlay, variant)
+    scenario = build_scenario(overlay, variant, codec=codec)
     classifier = build_classifier(protocol, scenario)
     classifier.scalar_rounds = scalar
     classifier.transport.scalar_broadcast = scalar
+    classifier.train()
+    return scenario, classifier
+
+
+def run_training_large(
+    protocol: str, overlay: str, variant: str
+) -> Tuple[Scenario, P2PTagClassifier]:
+    """Train one combo of the nightly large-N tier at 100 peers."""
+    peer_data, tags = _build_large_peer_data()
+    scenario = build_scenario(overlay, variant, num_peers=LARGE_NUM_PEERS)
+    classifier = build_classifier(protocol, scenario, peer_data, tags)
     classifier.train()
     return scenario, classifier

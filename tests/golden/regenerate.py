@@ -19,8 +19,21 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def main() -> int:
-    from tests.determinism_fixtures import OVERLAYS, PROTOCOLS, VARIANTS
-    from tests.test_golden_determinism import GOLDEN_PATH, combo_digest, combo_key
+    from tests.determinism_fixtures import (
+        LARGE_OVERLAYS,
+        LARGE_PROTOCOLS,
+        LARGE_VARIANTS,
+        OVERLAYS,
+        PROTOCOLS,
+        VARIANTS,
+    )
+    from tests.test_golden_determinism import (
+        GOLDEN_PATH,
+        LARGE_GOLDEN_PATH,
+        combo_digest,
+        combo_digest_large,
+        combo_key,
+    )
 
     digests = {}
     for overlay in OVERLAYS:
@@ -34,6 +47,18 @@ def main() -> int:
         json.dumps(digests, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     print(f"\nwrote {len(digests)} digests to {GOLDEN_PATH}")
+
+    large = {}
+    for overlay in LARGE_OVERLAYS:
+        for protocol in LARGE_PROTOCOLS:
+            for variant in LARGE_VARIANTS:
+                key = combo_key(overlay, protocol, variant)
+                large[key] = combo_digest_large(protocol, overlay, variant)
+                print(f"[N=100] {key:<32} {large[key][:16]}…")
+    LARGE_GOLDEN_PATH.write_text(
+        json.dumps(large, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(large)} large-N digests to {LARGE_GOLDEN_PATH}")
     return 0
 
 

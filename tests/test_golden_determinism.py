@@ -18,17 +18,38 @@ second thanks to the tiny fixture corpus.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
-from tests.determinism_fixtures import OVERLAYS, PROTOCOLS, VARIANTS, run_training
+from tests.determinism_fixtures import (
+    LARGE_OVERLAYS,
+    LARGE_PROTOCOLS,
+    LARGE_VARIANTS,
+    OVERLAYS,
+    PROTOCOLS,
+    VARIANTS,
+    run_training,
+    run_training_large,
+)
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "training_digests.json"
+LARGE_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "training_digests_large.json"
+)
+
+#: gates the N=100 tier (nightly CI; seconds per combo instead of millis)
+LARGE_GOLDEN_ENV = "REPRO_LARGE_GOLDEN"
 
 REGEN_HINT = (
     "If this change to the stats stream is intentional, regenerate with "
     "`PYTHONPATH=src python tests/golden/regenerate.py` and commit the diff."
+)
+
+large_tier = pytest.mark.skipif(
+    os.environ.get(LARGE_GOLDEN_ENV, "") in ("", "0"),
+    reason=f"large-N golden tier runs only with {LARGE_GOLDEN_ENV}=1 (nightly)",
 )
 
 
@@ -36,21 +57,31 @@ def combo_key(overlay: str, protocol: str, variant: str) -> str:
     return f"{overlay}/{protocol}/{variant}"
 
 
-def combo_digest(protocol: str, overlay: str, variant: str) -> str:
-    """Digest of one training run: stats fingerprint + final virtual clock."""
+def _digest_scenario(scenario) -> str:
     import hashlib
 
-    scenario, _ = run_training(protocol, overlay, variant)
     payload = scenario.stats.fingerprint_bytes() + json.dumps(
         {"now": scenario.simulator.now}
     ).encode("ascii")
     return hashlib.sha256(payload).hexdigest()
 
 
-def load_goldens() -> dict:
-    if not GOLDEN_PATH.exists():
-        pytest.fail(f"golden file missing: {GOLDEN_PATH}. {REGEN_HINT}")
-    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+def combo_digest(protocol: str, overlay: str, variant: str) -> str:
+    """Digest of one training run: stats fingerprint + final virtual clock."""
+    scenario, _ = run_training(protocol, overlay, variant)
+    return _digest_scenario(scenario)
+
+
+def combo_digest_large(protocol: str, overlay: str, variant: str) -> str:
+    """Digest of one 100-peer training run of the nightly tier."""
+    scenario, _ = run_training_large(protocol, overlay, variant)
+    return _digest_scenario(scenario)
+
+
+def load_goldens(path: Path = GOLDEN_PATH) -> dict:
+    if not path.exists():
+        pytest.fail(f"golden file missing: {path}. {REGEN_HINT}")
+    return json.loads(path.read_text(encoding="utf-8"))
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
@@ -85,3 +116,38 @@ def test_digests_are_run_to_run_stable():
     first = combo_digest("pace", "chord", "churn")
     second = combo_digest("pace", "chord", "churn")
     assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Nightly large-N tier: the same contract at 100 peers, where heap-order
+# bugs (tie-breaking, cancellation sets, batch scheduling) actually surface.
+# ---------------------------------------------------------------------------
+
+
+@large_tier
+@pytest.mark.parametrize("variant", LARGE_VARIANTS)
+@pytest.mark.parametrize("protocol", LARGE_PROTOCOLS)
+@pytest.mark.parametrize("overlay", LARGE_OVERLAYS)
+def test_large_n(overlay, protocol, variant):
+    key = combo_key(overlay, protocol, variant)
+    goldens = load_goldens(LARGE_GOLDEN_PATH)
+    assert key in goldens, f"no large-N golden digest for {key}. {REGEN_HINT}"
+    actual = combo_digest_large(protocol, overlay, variant)
+    assert actual == goldens[key], (
+        f"large-N stats digest drifted for {key}: expected "
+        f"{goldens[key][:16]}…, got {actual[:16]}…. Same seed no longer "
+        f"produces bit-identical stats at N=100 on this combo. {REGEN_HINT}"
+    )
+
+
+@large_tier
+def test_large_n_golden_file_has_no_stale_entries():
+    goldens = load_goldens(LARGE_GOLDEN_PATH)
+    expected = {
+        combo_key(o, p, v)
+        for o in LARGE_OVERLAYS
+        for p in LARGE_PROTOCOLS
+        for v in LARGE_VARIANTS
+    }
+    stale = set(goldens) - expected
+    assert not stale, f"stale large-N golden entries: {sorted(stale)}. {REGEN_HINT}"

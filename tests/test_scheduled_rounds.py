@@ -73,6 +73,55 @@ def test_baseline_batched_round_matches_sequential_sends(protocol, variant):
     assert batched_scenario.simulator.now == sequential_scenario.simulator.now
 
 
+@pytest.mark.parametrize("scalar", (False, True))
+@pytest.mark.parametrize("protocol", ("pace", "cempar"))
+def test_identity_codec_matches_precodec_stack(protocol, scalar):
+    """An explicit identity codec table is byte-identical to the default
+    (pre-codec) stack on both the scheduled/vectorized and scalar drivers."""
+    explicit_scenario, _ = run_training(
+        protocol, "chord", "none", scalar=scalar, codec="identity"
+    )
+    default_scenario, _ = run_training(protocol, "chord", "none", scalar=scalar)
+    assert (
+        explicit_scenario.stats.fingerprint_bytes()
+        == default_scenario.stats.fingerprint_bytes()
+    )
+    assert explicit_scenario.simulator.now == default_scenario.simulator.now
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("codec", ("gzip-model", "tuned"))
+@pytest.mark.parametrize("protocol", ("pace", "cempar"))
+def test_scheduled_round_matches_scalar_round_under_codec(
+    protocol, codec, variant
+):
+    """Wire-byte accounting joins the byte-identity contract: both round
+    drivers must agree on the compressed dimension too."""
+    batch_scenario, _ = run_training(
+        protocol, "chord", variant, codec=codec
+    )
+    scalar_scenario, _ = run_training(
+        protocol, "chord", variant, scalar=True, codec=codec
+    )
+    assert batch_scenario.stats.has_compressed_traffic
+    assert (
+        batch_scenario.stats.fingerprint_bytes()
+        == scalar_scenario.stats.fingerprint_bytes()
+    )
+    assert batch_scenario.simulator.now == scalar_scenario.simulator.now
+    # Codecs change accounting, never timing: the raw dimension matches the
+    # identity run bit-for-bit.
+    identity_scenario, _ = run_training(protocol, "chord", variant)
+    assert dict(batch_scenario.stats.bytes_by_type) == dict(
+        identity_scenario.stats.bytes_by_type
+    )
+    assert batch_scenario.simulator.now == identity_scenario.simulator.now
+    assert (
+        batch_scenario.stats.total_wire_bytes
+        < identity_scenario.stats.total_bytes
+    )
+
+
 def test_scalar_flags_default_off_and_env_override(monkeypatch):
     scenario = build_scenario("chord", "none")
     classifier = build_classifier("pace", scenario)

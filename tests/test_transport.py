@@ -10,6 +10,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.overlay import make_overlay, overlay_names
+from repro.sim.codec import make_codec_table, register_traffic_class
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 from repro.sim.network import LatencyModel, PhysicalNetwork, pair_seed
@@ -20,8 +21,15 @@ ALL_OVERLAYS = (
     "chord", "kademlia", "pastry", "unstructured", "fullmesh", "superpeer"
 )
 
+# Traffic classes for the synthetic workload's message types, so the
+# "tuned" composite table dispatches on them like real protocol traffic.
+register_traffic_class("t.upload", "model")
+register_traffic_class("t.bcast", "model")
+register_traffic_class("t.query", "vector")
 
-def build_transport(num_nodes=12, overlay_name=None, seed=0, drop=0.0):
+
+def build_transport(num_nodes=12, overlay_name=None, seed=0, drop=0.0,
+                    codec=None):
     simulator = Simulator(seed=seed)
     stats = StatsCollector()
     network = PhysicalNetwork(
@@ -39,7 +47,12 @@ def build_transport(num_nodes=12, overlay_name=None, seed=0, drop=0.0):
         stabilize = getattr(overlay, "stabilize", None)
         if callable(stabilize):
             stabilize()
-    return Transport(network, overlay=overlay, stats=stats)
+    return Transport(
+        network,
+        overlay=overlay,
+        stats=stats,
+        codec=make_codec_table(codec) if codec is not None else None,
+    )
 
 
 def stats_fingerprint(stats):
@@ -298,15 +311,20 @@ class TestVectorizedBroadcast:
         transport.flush()
         return results, log, transport.stats
 
-    def test_vector_matches_scalar(self):
+    @pytest.mark.parametrize(
+        "codec", (None, "identity", "gzip-model", "tuned")
+    )
+    def test_vector_matches_scalar(self, codec):
         v_results, v_log, v_stats = self._delivery_log(
-            build_transport(num_nodes=12, seed=21), scalar=False
+            build_transport(num_nodes=12, seed=21, codec=codec), scalar=False
         )
         s_results, s_log, s_stats = self._delivery_log(
-            build_transport(num_nodes=12, seed=21), scalar=True
+            build_transport(num_nodes=12, seed=21, codec=codec), scalar=True
         )
         assert v_log == s_log  # same delivery times, order, and contents
         assert stats_fingerprint(v_stats) == stats_fingerprint(s_stats)
+        # Byte-identical including the wire dimension (present or absent).
+        assert v_stats.fingerprint_bytes() == s_stats.fingerprint_bytes()
         for v, s in zip(v_results, s_results):
             assert v.targets == s.targets
             assert list(v.sent) == list(s.sent)
@@ -404,6 +422,78 @@ class TestVectorizedBroadcast:
         network.unregister(4)
         flags = network.are_up([0, 2, 4, 5])
         assert list(flags) == [network.is_up(n) for n in (0, 2, 4, 5)]
+
+
+class TestCodecAccounting:
+    """The codec table changes accounting only: identity is byte-identical
+    to the pre-codec stack, and non-identity codecs add a wire dimension
+    without touching the event stream."""
+
+    @pytest.mark.parametrize("name", ALL_OVERLAYS)
+    def test_identity_table_matches_default_stack(self, name):
+        explicit = build_transport(overlay_name=name, seed=7, codec="identity")
+        default = build_transport(overlay_name=name, seed=7)
+        drive_workload(explicit)
+        drive_workload(default)
+        assert (
+            explicit.stats.fingerprint_bytes()
+            == default.stats.fingerprint_bytes()
+        )
+        assert explicit.simulator.now == default.simulator.now
+
+    @pytest.mark.parametrize("codec", ("gzip-model", "delta-sparse", "tuned"))
+    def test_codec_changes_accounting_not_timing(self, codec):
+        coded = build_transport(overlay_name="chord", seed=7, codec=codec)
+        plain = build_transport(overlay_name="chord", seed=7)
+        drive_workload(coded)
+        drive_workload(plain)
+        # The raw dimension and the event stream are untouched...
+        assert coded.simulator.now == plain.simulator.now
+        assert coded.simulator.events_processed == plain.simulator.events_processed
+        assert dict(coded.stats.bytes_by_type) == dict(plain.stats.bytes_by_type)
+        assert dict(coded.stats.per_peer_received) == dict(
+            plain.stats.per_peer_received
+        )
+        # ...while the wire dimension shrinks below raw somewhere.
+        assert coded.stats.total_wire_bytes < coded.stats.total_bytes
+
+    def test_broadcast_wire_bytes_match_codec_model(self):
+        transport = build_transport(overlay_name="chord", seed=4,
+                                    codec="gzip-model")
+        payload = "payload" * 40
+        transport.broadcast(0, "b", payload)
+        reference = Message(src=0, dst=1, msg_type="b", payload=payload)
+        expected = transport.codec.wire_size("b", reference.size_bytes)
+        assert transport.stats.wire_bytes_by_type["b"] == 11 * expected
+        assert transport.stats.bytes_by_type["b"] == 11 * reference.size_bytes
+
+    def test_charge_flows_through_codec(self):
+        transport = build_transport(num_nodes=4, codec="gzip-model")
+        transport.charge(src=1, dst=2, msg_type="probe", size_bytes=4000, hops=2)
+        expected = transport.codec.wire_size("probe", 4000)
+        assert transport.stats.wire_bytes_by_type["probe"] == 2 * expected
+        assert transport.stats.bytes_by_type["probe"] == 2 * 4000
+
+    def test_route_and_send_stamps_wire_size(self):
+        from repro.overlay.idspace import key_id_for
+
+        transport = build_transport(overlay_name="fullmesh", seed=2,
+                                    codec="gzip-model")
+        payload = {"weights": [0.5] * 100}
+        outcome = transport.route_and_send(0, key_id_for("k"), "upload", payload)
+        assert outcome.sent
+        assert (
+            transport.stats.wire_bytes_by_type["upload"]
+            < transport.stats.bytes_by_type["upload"]
+        )
+
+    def test_swapping_codec_table_updates_identity_fast_path(self):
+        transport = build_transport(num_nodes=4)
+        assert transport._codec_is_identity
+        transport.codec = make_codec_table("gzip-model")
+        assert not transport._codec_is_identity
+        transport.send(0, 1, "m", "x" * 500)
+        assert transport.stats.has_compressed_traffic
 
 
 class TestTransportErrors:
