@@ -397,3 +397,188 @@ def test_e3_broadcast_codec_axis(benchmark, request):
             assert row[4] == row[3]
         else:
             assert row[4] < row[3], row
+
+
+# ---------------------------------------------------------------------------
+# E3e sharded-storm axis: the transport storm through the K-shard kernel
+# (repro.sim.shard).  Every row must be byte-identical to the unsharded
+# kernel; the mp executor's wall-clock is the sharding payoff.
+# ---------------------------------------------------------------------------
+
+SHARDED_STORM_NODES = 100 if _SMOKE else 1000
+SHARDED_STORM_ROUNDS = 5 if _SMOKE else 20
+SHARDED_STORM_FANOUT = STORM_FANOUT  # 1000 x 10 x 20 = the 200k-message bar
+SHARDED_STORM_SHARDS = 2 if _SMOKE else 4
+SHARDED_STORM_PAYLOAD_BYTES = 200
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _storm_workload(num_nodes, rounds, fanout):
+    """SPMD storm: every node fires one batched fanout block per round.
+
+    Runs identically on the unsharded kernel and in every shard worker;
+    under sharding each node's fire event is scheduled only on its owning
+    shard, so send-side work (jitter draws, stats, scheduling) partitions
+    across workers and cross-shard deliveries ride the exchange queues.
+    """
+
+    def workload(scenario):
+        from repro.sim.messages import Message
+
+        delivered = [0]
+
+        def handler(message):
+            delivered[0] += 1
+
+        for node in range(num_nodes):
+            scenario.network.register(node, handler)
+        transport = scenario.transport
+        simulator = scenario.simulator
+
+        def fire(src, round_index):
+            block = []
+            for k in range(fanout):
+                dst = (src + 1 + (round_index * fanout + k) * 7) % num_nodes
+                if dst == src:
+                    dst = (dst + 1) % num_nodes
+                block.append(
+                    Message(src=src, dst=dst, msg_type="storm", payload=None,
+                            size_bytes=SHARDED_STORM_PAYLOAD_BYTES)
+                )
+            transport.send_batch(block)
+
+        owns = scenario.owns
+        for round_index in range(rounds):
+            at = float(round_index)
+            for src in range(num_nodes):
+                if owns(src):
+                    simulator.schedule_at(at, fire, args=(src, round_index))
+        simulator.run_until_idle(max_events=5_000_000)
+        return delivered[0]
+
+    return workload
+
+
+def _sharded_storm_config(num_nodes, shards, seed=3):
+    from repro.sim.distribution import ShardSpec
+    from repro.sim.scenario import ScenarioConfig
+
+    return ScenarioConfig(
+        num_peers=num_nodes,
+        overlay="fullmesh",
+        rng_mode="perpeer",
+        jitter_floor=0.5,
+        shards=shards,
+        shard=ShardSpec(num_peers=num_nodes),
+        seed=seed,
+    )
+
+
+def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3):
+    """One sharded storm run; returns (elapsed, digest, delivered, windows)."""
+    from repro.sim.shard import ShardedScenario
+
+    workload = _storm_workload(num_nodes, rounds, fanout)
+    start = time.perf_counter()
+    run = ShardedScenario(
+        _sharded_storm_config(num_nodes, shards, seed), executor=executor
+    ).run(workload)
+    elapsed = time.perf_counter() - start
+    return elapsed, run.digest(), sum(run.results), run.windows
+
+
+def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
+    """The single-heap reference of the same storm (shards=0)."""
+    from repro.sim.scenario import Scenario
+    from repro.sim.shard import scenario_digest
+
+    workload = _storm_workload(num_nodes, rounds, fanout)
+    start = time.perf_counter()
+    scenario = Scenario(_sharded_storm_config(num_nodes, 0, seed))
+    delivered = workload(scenario)
+    elapsed = time.perf_counter() - start
+    return (
+        elapsed,
+        scenario_digest(scenario.stats, scenario.simulator.now),
+        delivered,
+        0,
+    )
+
+
+def run_sharded_storm_rows():
+    nodes = SHARDED_STORM_NODES
+    rounds = SHARDED_STORM_ROUNDS
+    fanout = SHARDED_STORM_FANOUT
+    shards = SHARDED_STORM_SHARDS
+    configs = [
+        ("unsharded", lambda: run_unsharded_storm(nodes, rounds, fanout)),
+        (
+            f"serial k{shards}",
+            lambda: run_sharded_storm(nodes, shards, "serial", rounds, fanout),
+        ),
+        (
+            f"mp k{shards}",
+            lambda: run_sharded_storm(nodes, shards, "mp", rounds, fanout),
+        ),
+    ]
+    rows = []
+    for label, runner in configs:
+        # Best of two: one warmup-and-measure pair keeps ratios stable.
+        elapsed, digest, delivered, windows = min(
+            (runner() for _ in range(2)), key=lambda r: r[0]
+        )
+        messages = nodes * rounds * fanout
+        rows.append(
+            [
+                nodes,
+                label,
+                messages,
+                delivered,
+                windows,
+                round(elapsed, 3),
+                int(messages / max(elapsed, 1e-9)),
+                digest[:16],
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e3-scalability")
+def test_e3_sharded_storm(benchmark):
+    rows = benchmark.pedantic(run_sharded_storm_rows, rounds=1, iterations=1)
+    headers = [
+        "nodes", "kernel", "messages", "delivered", "windows", "seconds",
+        "msgs/sec", "stats_digest",
+    ]
+    table = format_table(
+        f"E3e  Sharded storm at {SHARDED_STORM_NODES} nodes "
+        f"({SHARDED_STORM_NODES * SHARDED_STORM_ROUNDS * SHARDED_STORM_FANOUT}"
+        f" messages, K={SHARDED_STORM_SHARDS})",
+        headers,
+        rows,
+    )
+    write_results("e3_sharded_storm", table, headers=headers, rows=rows)
+
+    expected = (
+        SHARDED_STORM_NODES * SHARDED_STORM_ROUNDS * SHARDED_STORM_FANOUT
+    )
+    # The sharding theorem at bench scale: every kernel shape produces
+    # byte-identical stats digests and full delivery.
+    digests = {row[7] for row in rows}
+    assert len(digests) == 1, f"kernel shapes diverged: {rows}"
+    for row in rows:
+        assert row[3] == expected
+    serial_row = next(r for r in rows if r[1].startswith("serial"))
+    mp_row = next(r for r in rows if r[1].startswith("mp"))
+    speedup = serial_row[5] / max(mp_row[5], 1e-9)
+    if not _SMOKE and _cpus() >= 4:
+        # Acceptance bar: >= 1.5x over the lockstep serial reference with
+        # >= 4 workers on >= 4 cores.  (On smaller runners the mp row still
+        # verifies correctness; the parallel payoff needs parallel silicon.)
+        assert speedup >= 1.5, f"sharded storm speedup {speedup:.2f}x < 1.5x"

@@ -70,6 +70,8 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
             overlay=args.overlay,
             churn=args.churn,
             codec=args.codec,
+            shards=args.shards,
+            executor=args.executor,
             train_fraction=args.train_fraction,
             threshold=args.threshold,
             seed=args.seed,
@@ -101,6 +103,16 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
         "--codec", choices=_codec_choices(), default="identity",
         help="wire-format codec table for traffic accounting",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="event-kernel shards: K >= 1 replays training through the "
+        "K-shard kernel and verifies it is byte-identical to the local run",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "mp"), default="serial",
+        help="sharded executor: lockstep serial reference or one worker "
+        "process per shard",
+    )
     parser.add_argument("--train-fraction", type=float, default=0.2)
     parser.add_argument("--threshold", type=float, default=0.5)
     parser.add_argument("--max-eval", type=int, default=80)
@@ -109,6 +121,13 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     system = _build_system(args, args.algorithm)
     system.train()
+    if system.sharded_run is not None:
+        run = system.sharded_run
+        print(
+            f"[shard] K={run.shards} executor={run.executor} "
+            f"windows={run.windows} lookahead={run.lookahead:.4f}s "
+            f"digest={run.digest()[:16]}… == local kernel (verified)"
+        )
     if args.tune_thresholds:
         system.tune_thresholds()
     report = system.evaluate(max_documents=args.max_eval)

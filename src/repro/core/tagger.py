@@ -46,6 +46,12 @@ class SystemConfig:
     overlay: str = "chord"
     churn: str = "none"
     codec: str = "identity"  # wire-format codec table (repro.sim.codec)
+    #: event-kernel shards (repro.sim.shard): 0 = single-heap kernel; K >= 1
+    #: additionally replays training through the K-shard kernel and verifies
+    #: the merged observables are byte-identical to the local run.
+    shards: int = 0
+    #: sharded executor ("serial" or "mp"), used when shards >= 1
+    executor: str = "serial"
     mean_session: float = 600.0
     mean_downtime: float = 60.0
     train_fraction: float = 0.2  # the paper's 20 % manual-tag protocol
@@ -64,6 +70,10 @@ class SystemConfig:
             raise ConfigurationError("train_fraction must be in (0, 1)")
         if not 0.0 <= self.threshold <= 1.0:
             raise ConfigurationError("threshold must be in [0, 1]")
+        if self.shards < 0:
+            raise ConfigurationError("shards must be >= 0")
+        if self.executor not in ("serial", "mp"):
+            raise ConfigurationError(f"unknown executor {self.executor!r}")
 
 
 @dataclass
@@ -185,25 +195,33 @@ class P2PDocTaggerSystem:
         owners = self.corpus.owners
         self._owner_to_peer = {owner: index for index, owner in enumerate(owners)}
         num_peers = len(owners)
-        self.scenario = Scenario(
-            ScenarioConfig(
-                num_peers=num_peers,
-                overlay=self.config.overlay,
-                churn=self.config.churn,
-                codec=self.config.codec,
-                mean_session=self.config.mean_session,
-                mean_downtime=self.config.mean_downtime,
-                shard=ShardSpec(num_peers=num_peers, seed=self.config.seed),
-                seed=self.config.seed,
-            )
+        # With kernel sharding requested, the local system runs the same
+        # decomposed-randomness scenario the shard workers will replay, so
+        # the two executions are comparable byte-for-byte (the local run
+        # stays the unsharded reference: shards=0 here).
+        self._scenario_config = ScenarioConfig(
+            num_peers=num_peers,
+            overlay=self.config.overlay,
+            churn=self.config.churn,
+            codec=self.config.codec,
+            mean_session=self.config.mean_session,
+            mean_downtime=self.config.mean_downtime,
+            shard=ShardSpec(num_peers=num_peers, seed=self.config.seed),
+            rng_mode="perpeer" if self.config.shards >= 1 else "stream",
+            jitter_floor=0.5 if self.config.shards >= 1 else 0.0,
+            seed=self.config.seed,
         )
+        self.scenario = Scenario(self._scenario_config)
+        #: populated by train() when config.shards >= 1: the merged
+        #: ShardedRun whose digest was verified against the local kernel
+        self.sharded_run = None
 
         self.train_corpus, self.test_corpus = per_user_split(
             self.corpus, self.config.train_fraction, seed=self.config.seed
         )
         self._vector_cache: Dict[int, SparseVector] = {}
-        peer_data = self._build_peer_data(self.train_corpus)
-        self.classifier = self._build_classifier(peer_data)
+        self._peer_data = self._build_peer_data(self.train_corpus)
+        self.classifier = self._build_classifier(self._peer_data)
         self.suggestions = SuggestionEngine(self.classifier)
 
         self.peers: Dict[int, P2PDocTaggerPeer] = {
@@ -240,7 +258,10 @@ class P2PDocTaggerSystem:
             remapped[address] = items
         return remapped
 
-    def _build_classifier(self, peer_data: PeerData) -> P2PTagClassifier:
+    def _build_classifier(
+        self, peer_data: PeerData, scenario: Optional[Scenario] = None
+    ) -> P2PTagClassifier:
+        scenario = scenario if scenario is not None else self.scenario
         algorithm = self.config.algorithm
         tags = self.corpus.tag_universe()
         options = dict(self.config.algorithm_options)
@@ -248,17 +269,17 @@ class P2PDocTaggerSystem:
             from repro.p2pclass.pace import PaceClassifier, PaceConfig
 
             config = PaceConfig(seed=self.config.seed, **options)
-            return PaceClassifier(self.scenario, peer_data, tags, config)
+            return PaceClassifier(scenario, peer_data, tags, config)
         if algorithm == "cempar":
             from repro.p2pclass.cempar import CemparClassifier, CemparConfig
 
             config = CemparConfig(seed=self.config.seed, **options)
-            return CemparClassifier(self.scenario, peer_data, tags, config)
+            return CemparClassifier(scenario, peer_data, tags, config)
         if algorithm == "nbagg":
             from repro.p2pclass.nbagg import NBAggClassifier, NBAggConfig
 
             config = NBAggConfig(seed=self.config.seed, **options)
-            return NBAggClassifier(self.scenario, peer_data, tags, config)
+            return NBAggClassifier(scenario, peer_data, tags, config)
         if algorithm == "centralized":
             from repro.baselines.centralized import (
                 CentralizedConfig,
@@ -266,15 +287,15 @@ class P2PDocTaggerSystem:
             )
 
             config = CentralizedConfig(seed=self.config.seed, **options)
-            return CentralizedTagger(self.scenario, peer_data, tags, config)
+            return CentralizedTagger(scenario, peer_data, tags, config)
         if algorithm == "local":
             from repro.baselines.localonly import LocalOnlyConfig, LocalOnlyTagger
 
             config = LocalOnlyConfig(seed=self.config.seed, **options)
-            return LocalOnlyTagger(self.scenario, peer_data, tags, config)
+            return LocalOnlyTagger(scenario, peer_data, tags, config)
         from repro.baselines.popularity import PopularityTagger
 
-        return PopularityTagger(self.scenario, peer_data, tags)
+        return PopularityTagger(scenario, peer_data, tags)
 
     def _register_manual_tags(self) -> None:
         """Training documents appear as manually tagged in each peer's store."""
@@ -304,10 +325,57 @@ class P2PDocTaggerSystem:
         return self.peers[address]
 
     def train(self) -> None:
-        """Run collaborative learning (optionally under churn)."""
+        """Run collaborative learning (optionally under churn).
+
+        With ``config.shards >= 1`` the same training additionally replays
+        through the K-shard event kernel (:mod:`repro.sim.shard`) and the
+        merged shard observables are verified byte-identical to the local
+        kernel — every ``--shards`` run is a live proof of the sharding
+        equivalence theorem.  Predictions serve from the (provably
+        identical) local replica, which holds the complete model state.
+        """
         if self.config.churn != "none":
             self.scenario.start_churn()
         self.classifier.train()
+        if self.config.shards >= 1:
+            self.sharded_run = self._verify_sharded_training()
+
+    def _verify_sharded_training(self):
+        from dataclasses import replace
+
+        from repro.errors import SimulationError
+        from repro.sim.shard import ShardedScenario, scenario_digest
+
+        sharded_config = replace(
+            self._scenario_config,
+            shards=self.config.shards,
+            executor=self.config.executor,
+        )
+        churn = self.config.churn
+        peer_data = self._peer_data
+        build = self._build_classifier
+
+        def workload(scenario: Scenario) -> None:
+            if churn != "none":
+                scenario.start_churn()
+            classifier = build(peer_data, scenario)
+            classifier.scalar_rounds = False
+            classifier.transport.scalar_broadcast = False
+            classifier.train()
+
+        run = ShardedScenario(
+            sharded_config, executor=self.config.executor
+        ).run(workload)
+        local_digest = scenario_digest(
+            self.scenario.stats, self.scenario.simulator.now
+        )
+        if run.digest() != local_digest:
+            raise SimulationError(
+                f"sharded training (K={run.shards}, {run.executor}) "
+                "diverged from the local kernel: "
+                f"{run.digest()[:16]}… != {local_digest[:16]}…"
+            )
+        return run
 
     def predict_scores(
         self, origin: int, document: Document

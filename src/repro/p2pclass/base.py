@@ -268,7 +268,10 @@ class P2PTagClassifier(ABC):
             return
         simulator = self.scenario.simulator
         gaps = rng.exponential(scale, size=len(participants))
-        if self.scalar_rounds:
+        if self.scalar_rounds and not self.scenario.sharded:
+            # The sequential driver calls actions outside the kernel, which
+            # cannot be ownership-partitioned — sharded workers always use
+            # the scheduled path (both land on identical activation times).
             for address, gap in zip(participants, gaps.tolist()):
                 self._advance(float(gap))
                 action(address)
@@ -278,10 +281,46 @@ class P2PTagClassifier(ABC):
         for gap in gaps.tolist():
             t += gap
             times.append(t)
-        simulator.schedule_batch_at(
-            times, action, ((address,) for address in participants)
-        )
+        # In a sharded worker, each activation is scheduled only on the
+        # peer's owning shard (protocol work partitions across workers);
+        # every worker still advances through the whole round window so the
+        # SPMD orchestration stays in lockstep.  On the single-heap kernel
+        # `owns` is constant True and this is the full batch.
+        owns = self.scenario.owns
+        owned_times: List[float] = []
+        owned_args: List[tuple] = []
+        for time, address in zip(times, participants):
+            if owns(address):
+                owned_times.append(time)
+                owned_args.append((address,))
+        simulator.schedule_batch_at(owned_times, action, owned_args)
         simulator.run(until=times[-1])
+
+    #: stream lane for per-peer activation draws (distinct from the
+    #: network/loss/churn lanes of repro.sim.network.PeerStreams)
+    _ACTIVATION_LANE = 17
+
+    def _activation_rng(
+        self, seed: int, address: int
+    ) -> Optional[np.random.Generator]:
+        """Per-peer stream for draws made *inside* a peer's activation event.
+
+        Under the decomposed-randomness mode (``rng_mode="perpeer"``),
+        activation events execute only on the peer's owning shard, so any
+        draw they take from a protocol-wide stream would desynchronize that
+        stream across shard replicas.  Protocols must route such draws
+        through this per-peer generator instead (deterministic in
+        ``(seed, address)``, so every execution shape agrees).  Returns
+        ``None`` in the legacy single-stream mode — callers fall back to
+        their protocol-wide RNG, keeping pre-shard digests byte-identical.
+        """
+        if self.scenario.config.rng_mode != "perpeer":
+            return None
+        from repro.sim.network import stream_seed
+
+        return np.random.default_rng(
+            stream_seed(seed, address, self._ACTIVATION_LANE)
+        )
 
     def _flush_network(self, settle_time: float = 5.0) -> None:
         """Let queued deliveries complete (advances virtual time).

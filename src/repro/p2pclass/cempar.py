@@ -126,8 +126,12 @@ class CemparClassifier(P2PTagClassifier):
             self.scenario.stats.increment("cempar_upload_skipped")
             return
         region = self.directory.region_of(address)
+        # Negative subsampling happens at the activation instant; under
+        # per-peer randomness it draws from the peer's own stream so the
+        # draw is identical no matter which shard executes the activation.
+        rng = self._activation_rng(cfg.seed, address) or self._rng
         problems = binary_problems(
-            self.peer_data[address], self.tags, cfg.max_negative_ratio, self._rng
+            self.peer_data[address], self.tags, cfg.max_negative_ratio, rng
         )
         for tag, (vectors, labels) in sorted(problems.items()):
             svm = KernelSVM(

@@ -11,13 +11,22 @@ discrete-event replacement providing the same observables:
 - wire-format codec size models (:mod:`repro.sim.codec`),
 - activity logging and statistics (:mod:`repro.sim.stats`),
 - training-data distribution across peers (:mod:`repro.sim.distribution`),
-- scenario configuration and running (:mod:`repro.sim.scenario`), and
+- scenario configuration and running (:mod:`repro.sim.scenario`),
+- the sharded event kernel with conservative virtual-time windows
+  (:mod:`repro.sim.shard`), and
 - network visualization helpers (:mod:`repro.sim.visualize`).
 """
 
 from repro.sim.engine import Simulator, Event
 from repro.sim.messages import Message, payload_size
-from repro.sim.network import PhysicalNetwork, LatencyModel, pair_mix64, pair_seed
+from repro.sim.network import (
+    PhysicalNetwork,
+    LatencyModel,
+    PeerStreams,
+    pair_mix64,
+    pair_seed,
+    stream_seed,
+)
 from repro.sim.transport import Transport, Outcome, BroadcastOutcome
 from repro.sim.codec import (
     Codec,
@@ -40,6 +49,14 @@ from repro.sim.trace import MessageTrace, TraceRecord
 from repro.sim.workload import QueryWorkload, WorkloadConfig, QueryEvent
 from repro.sim.distribution import DataDistributor, ShardSpec
 from repro.sim.scenario import ScenarioConfig, Scenario
+from repro.sim.shard import (
+    ShardedRun,
+    ShardedScenario,
+    compute_lookahead,
+    run_sharded,
+    scenario_digest,
+    shard_of,
+)
 
 __all__ = [
     "Simulator",
@@ -76,4 +93,12 @@ __all__ = [
     "ShardSpec",
     "ScenarioConfig",
     "Scenario",
+    "PeerStreams",
+    "stream_seed",
+    "ShardedRun",
+    "ShardedScenario",
+    "compute_lookahead",
+    "run_sharded",
+    "scenario_digest",
+    "shard_of",
 ]

@@ -130,15 +130,28 @@ class ChurnDriver:
         model: ChurnModel,
         on_leave: Optional[Callable[[int], None]] = None,
         on_join: Optional[Callable[[int], None]] = None,
+        rng_for: Optional[Callable[[int], "np.random.Generator"]] = None,
     ) -> None:
         self.simulator = simulator
         self.network = network
         self.model = model
         self.on_leave = on_leave
         self.on_join = on_join
+        #: per-peer stream provider (decomposed-randomness mode): node ``n``'s
+        #: session/downtime draws come from ``rng_for(n)`` instead of the
+        #: simulator's single stream.  Makes each peer's churn timeline an
+        #: autonomous deterministic process — replicable in every shard of a
+        #: sharded run, keeping liveness/overlay replicas in sync without
+        #: any cross-shard traffic.
+        self.rng_for = rng_for
         self.leave_count = 0
         self.join_count = 0
         self._active: Dict[int, bool] = {}
+
+    def _rng(self, node_id: int) -> "np.random.Generator":
+        if self.rng_for is not None:
+            return self.rng_for(node_id)
+        return self.simulator.rng
 
     def start(self, node_ids: List[int]) -> None:
         """Begin churn cycles for each node (no-op under :class:`NoChurn`)."""
@@ -154,7 +167,7 @@ class ChurnDriver:
             self._active[node_id] = False
 
     def _schedule_leave(self, node_id: int) -> None:
-        session = self.model.session_time(self.simulator.rng)
+        session = self.model.session_time(self._rng(node_id))
         if session == float("inf"):
             return
         self.simulator.schedule(
@@ -170,7 +183,7 @@ class ChurnDriver:
         self.leave_count += 1
         if self.on_leave is not None:
             self.on_leave(node_id)
-        down = self.model.downtime(self.simulator.rng)
+        down = self.model.downtime(self._rng(node_id))
         self.simulator.schedule(
             down, lambda: self._rejoin(node_id), label=f"churn-join:{node_id}"
         )

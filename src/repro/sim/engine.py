@@ -80,6 +80,7 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._pending = 0
+        self._last_event_time = float("-inf")
         self.rng = np.random.default_rng(seed)
 
     @property
@@ -95,6 +96,23 @@ class Simulator:
     def pending_events(self) -> int:
         """Live (non-cancelled) queued events — O(1), maintained counter."""
         return self._pending
+
+    @property
+    def last_event_time(self) -> float:
+        """Virtual time of the most recently executed event (``-inf`` if no
+        event has fired yet).  Unlike :attr:`now`, never moved forward by an
+        ``until`` clamp — the sharded kernel uses it to agree on the global
+        quiescence instant across shard heaps."""
+        return self._last_event_time
+
+    def next_event_time(self) -> float:
+        """Scheduled time of the earliest queued entry (``inf`` when empty).
+
+        May report a cancelled entry's time — the window scheduler only
+        needs a conservative lower bound, and a stale head merely yields one
+        empty window before it is popped and skipped.
+        """
+        return self._queue[0][0] if self._queue else float("inf")
 
     def schedule(
         self,
@@ -234,6 +252,7 @@ class Simulator:
                 raise SimulationError("event queue time went backwards")
             self._pending -= 1
             self._now = time
+            self._last_event_time = time
             callback(*args)
             executed += 1
             self._events_processed += 1

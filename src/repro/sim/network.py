@@ -17,7 +17,7 @@ bit-identically to N sequential sends — batching never changes replay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -59,6 +59,69 @@ def pair_seed(src: int, dst: int) -> int:
     return pair_mix64(src, dst) & 0x7FFFFFFF
 
 
+def stream_seed(seed: int, peer: int, lane: int) -> int:
+    """Deterministic 64-bit seed for one peer's RNG stream in one ``lane``.
+
+    The per-peer randomness decomposition (``rng_mode="perpeer"``) gives
+    every peer an independent generator per concern — network jitter, loss
+    draws, churn — so that the *order* in which different peers consume
+    randomness cannot affect any draw's value.  That order-independence is
+    what lets a sharded execution (peers partitioned across event heaps)
+    reproduce the single-heap kernel bit-for-bit: each stream is consumed
+    only in its owner's causal order, which conservative windowing
+    preserves.  Same splitmix64-style finalizer family as
+    :func:`pair_mix64`, over the (seed, peer, lane) triple.
+    """
+    x = (
+        (seed & _U64) * _MIX_MULT_A
+        + (peer & _U64) * _MIX_MULT_C
+        + (lane & _U64) * _MIX_MULT_B
+        + 0x51ED2701
+    ) & _U64
+    x ^= x >> 30
+    x = (x * _MIX_MULT_B) & _U64
+    x ^= x >> 27
+    x = (x * _MIX_MULT_C) & _U64
+    x ^= x >> 31
+    return x
+
+
+class PeerStreams:
+    """Per-peer random streams for the decomposed-randomness mode.
+
+    Lanes: ``net`` (latency jitter for messages the peer *sends*), ``loss``
+    (drop draws for the peer's sends), ``churn`` (session/downtime draws).
+    Loss lives on its own lane because drop outcomes must be computable by
+    every shard replica (they decide :class:`~repro.sim.transport.Outcome`
+    flags read by orchestrator code), while jitter is consumed only by the
+    peer's owning shard.  Generators are cached — repeated lookups return
+    the same stream object, advancing as it is consumed.
+    """
+
+    _LANES = {"net": 1, "loss": 2, "churn": 3}
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: Dict[Tuple[int, int], np.random.Generator] = {}
+
+    def _stream(self, lane: int, peer: int) -> np.random.Generator:
+        key = (lane, peer)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = np.random.default_rng(stream_seed(self.seed, peer, lane))
+            self._streams[key] = stream
+        return stream
+
+    def net_rng(self, peer: int) -> np.random.Generator:
+        return self._stream(self._LANES["net"], peer)
+
+    def loss_rng(self, peer: int) -> np.random.Generator:
+        return self._stream(self._LANES["loss"], peer)
+
+    def churn_rng(self, peer: int) -> np.random.Generator:
+        return self._stream(self._LANES["churn"], peer)
+
+
 def pair_factors(src: int, dsts: np.ndarray) -> np.ndarray:
     """Vectorized per-pair latency factors in [0.5, 1.5] for one source.
 
@@ -97,6 +160,21 @@ class LatencyModel:
     jitter_fraction: float = 0.2
     bandwidth: float = 1_000_000.0
     drop_probability: float = 0.0
+    #: lower clamp on the lognormal jitter draw (0 = unbounded, the legacy
+    #: behaviour).  A positive floor gives every delivery a guaranteed
+    #: minimum propagation delay — the *lookahead* a conservative sharded
+    #: execution needs (see :func:`repro.sim.shard.compute_lookahead`).
+    jitter_floor: float = 0.0
+
+    def min_propagation(self) -> float:
+        """Guaranteed lower bound on any delivery's propagation delay.
+
+        Per-pair factors are ≥ 0.5 by construction (:func:`pair_factors`);
+        jitter is ≥ :attr:`jitter_floor` when drawn (exactly 1 when
+        ``jitter_fraction`` is 0).  Zero when jitter is unbounded below.
+        """
+        floor = self.jitter_floor if self.jitter_fraction > 0 else 1.0
+        return 0.5 * self.base_latency * floor
 
     def delay_for(self, message: Message, rng: np.random.Generator) -> float:
         """One-way delay for ``message``: propagation + transmission."""
@@ -105,6 +183,8 @@ class LatencyModel:
             jitter = float(
                 rng.lognormal(mean=0.0, sigma=self.jitter_fraction)
             )
+            if jitter < self.jitter_floor:
+                jitter = self.jitter_floor
         propagation = self.base_latency * jitter
         transmission = message.size_bytes / self.bandwidth
         return propagation + transmission
@@ -123,6 +203,8 @@ class LatencyModel:
             jitter = rng.lognormal(
                 mean=0.0, sigma=self.jitter_fraction, size=count
             )
+            if self.jitter_floor > 0:
+                jitter = np.maximum(jitter, self.jitter_floor)
         else:
             jitter = np.ones(count)
         return self.base_latency * jitter + sizes / self.bandwidth
@@ -141,6 +223,8 @@ class PhysicalNetwork:
         simulator: Simulator,
         latency: Optional[LatencyModel] = None,
         stats: Optional[StatsCollector] = None,
+        rng_for_src: Optional[Callable[[int], np.random.Generator]] = None,
+        loss_rng_for_src: Optional[Callable[[int], np.random.Generator]] = None,
     ) -> None:
         self.simulator = simulator
         self.latency = latency or LatencyModel()
@@ -149,6 +233,25 @@ class PhysicalNetwork:
         self._down: Set[int] = set()
         self._pair_latency_cache: Dict[tuple, float] = {}
         self._send_listeners: List[SendListener] = []
+        #: per-source stream providers (decomposed-randomness mode).  When
+        #: unset, every draw comes from the simulator's single seeded stream
+        #: in event order — the legacy mode, bit-identical to the pre-shard
+        #: stack.  When set (usually :class:`PeerStreams` lanes), each
+        #: message's jitter and drop draws come from its *source peer's* own
+        #: streams, making draw values independent of cross-peer event
+        #: interleaving — the property sharded execution relies on.
+        self._rng_for_src = rng_for_src
+        self._loss_rng_for_src = loss_rng_for_src
+
+    def _jitter_rng(self, src: int) -> np.random.Generator:
+        if self._rng_for_src is not None:
+            return self._rng_for_src(src)
+        return self.simulator.rng
+
+    def _loss_rng(self, src: int) -> np.random.Generator:
+        if self._loss_rng_for_src is not None:
+            return self._loss_rng_for_src(src)
+        return self.simulator.rng
 
     # -- membership ----------------------------------------------------------
 
@@ -240,6 +343,10 @@ class PhysicalNetwork:
         or loss); the caller cannot distinguish later failures, as in real
         networks.  Traffic is counted for every *sent* message, delivered or
         not — bytes leave the NIC either way.
+
+        NOTE: :class:`repro.sim.shard.ShardNetwork` mirrors this method (and
+        :meth:`send_batch`) with ownership gates interleaved; semantic edits
+        here must be mirrored there.
         """
         if message.src == message.dst:
             raise SimulationError("loopback messages need no network")
@@ -250,12 +357,15 @@ class PhysicalNetwork:
         self.stats.record_message(message)
         if (
             self.latency.drop_probability > 0
-            and self.simulator.rng.random() < self.latency.drop_probability
+            and self._loss_rng(message.src).random()
+            < self.latency.drop_probability
         ):
             self.stats.increment("messages_dropped")
             return False
         pair_factor = self._pair_base_latency(message.src, message.dst)
-        delay = pair_factor * self.latency.delay_for(message, self.simulator.rng)
+        delay = pair_factor * self.latency.delay_for(
+            message, self._jitter_rng(message.src)
+        )
         self.simulator.schedule(
             delay, self._deliver, label="deliver", args=(message,)
         )
@@ -279,9 +389,6 @@ class PhysicalNetwork:
             return [self.send(message) for message in messages]
         results: List[bool] = []
         live: List[Message] = []
-        factors: List[float] = []
-        sizes: List[int] = []
-        pair_base_latency = self._pair_base_latency
         record = self.stats.record_message
         listeners = self._send_listeners
         for message in messages:
@@ -293,17 +400,43 @@ class PhysicalNetwork:
                 continue
             record(message)
             live.append(message)
-            factors.append(pair_base_latency(message.src, message.dst))
-            sizes.append(message.size_bytes)
             results.append(True)
         if live:
-            delays = np.asarray(factors) * self.latency.delays_for(
-                np.asarray(sizes, dtype=np.float64), self.simulator.rng
-            )
-            self.simulator.schedule_batch(
-                delays.tolist(), self._deliver, ((m,) for m in live)
-            )
+            self._schedule_block(live)
         return results
+
+    def _block_delays(self, live: Sequence[Message]) -> np.ndarray:
+        """Delivery delays for a live same-tick block.
+
+        Single-stream mode: one vectorized jitter draw over the whole block
+        (bit-identical to sequential :meth:`send` calls).  Per-source mode:
+        one vectorized draw *per source peer* over that peer's messages in
+        block order — bit-identical to sequential sends because each source
+        stream is consumed in the same per-message order either way.
+        """
+        factors = np.asarray(
+            [self._pair_base_latency(m.src, m.dst) for m in live]
+        )
+        sizes = np.asarray([m.size_bytes for m in live], dtype=np.float64)
+        if self._rng_for_src is None:
+            jitters = self.latency.delays_for(sizes, self.simulator.rng)
+        else:
+            jitters = np.empty(len(live))
+            by_src: Dict[int, List[int]] = {}
+            for index, message in enumerate(live):
+                by_src.setdefault(message.src, []).append(index)
+            for src, indices in by_src.items():
+                jitters[indices] = self.latency.delays_for(
+                    sizes[indices], self._rng_for_src(src)
+                )
+        return factors * jitters
+
+    def _schedule_block(self, live: List[Message]) -> None:
+        """Bulk-schedule delivery of an already-charged live block."""
+        delays = self._block_delays(live)
+        self.simulator.schedule_batch(
+            delays.tolist(), self._deliver, ((m,) for m in live)
+        )
 
     def broadcast_block(
         self,
@@ -344,9 +477,7 @@ class PhysicalNetwork:
         self.stats.record_message_block(
             msg_type, size_bytes, src=src, dsts=dsts, wire_bytes=wire_bytes
         )
-        factors = pair_factors(src, np.asarray(dsts, dtype=np.uint64))
-        sizes = np.full(count, float(size_bytes))
-        delays = factors * self.latency.delays_for(sizes, self.simulator.rng)
+        delays = self._broadcast_delays(src, dsts, size_bytes)
         self.simulator.schedule_batch(
             delays.tolist(),
             self._deliver_lazy,
@@ -354,6 +485,15 @@ class PhysicalNetwork:
              for dst in dsts),
         )
         return np.ones(count, dtype=bool)
+
+    def _broadcast_delays(
+        self, src: int, dsts: Sequence[int], size_bytes: int
+    ) -> np.ndarray:
+        """Vectorized delivery delays for one broadcast block (one jitter
+        array draw from the source's stream — single-stream or per-source)."""
+        factors = pair_factors(src, np.asarray(dsts, dtype=np.uint64))
+        sizes = np.full(len(dsts), float(size_bytes))
+        return factors * self.latency.delays_for(sizes, self._jitter_rng(src))
 
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)
@@ -370,11 +510,15 @@ class PhysicalNetwork:
         payload: Any,
         size_bytes: int,
         wire_bytes: int,
+        hops: int = 1,
     ) -> None:
-        """Deliver a broadcast-block message, materializing it on demand.
+        """Deliver a broadcast-block (or cross-shard) message, materializing
+        it on demand.
 
         Handlers see an ordinary :class:`Message`; undeliverable recipients
         (churned out or unregistered since send time) never allocate one.
+        ``hops`` preserves the original message's hop count for cross-shard
+        unicast deliveries (stats were already charged at send time).
         """
         handler = self._handlers.get(dst)
         if handler is None or dst in self._down:
@@ -388,5 +532,6 @@ class PhysicalNetwork:
                 payload=payload,
                 size_bytes=size_bytes,
                 wire_bytes=wire_bytes,
+                hops=hops,
             )
         )

@@ -25,7 +25,7 @@ from repro.sim.churn import (
 )
 from repro.sim.distribution import ShardSpec
 from repro.sim.engine import Simulator
-from repro.sim.network import LatencyModel, PhysicalNetwork
+from repro.sim.network import LatencyModel, PeerStreams, PhysicalNetwork
 from repro.sim.stats import StatsCollector
 from repro.sim.transport import Transport
 
@@ -46,6 +46,23 @@ class ScenarioConfig:
     stabilize_interval: float = 30.0
     shard: ShardSpec = field(default_factory=lambda: ShardSpec(num_peers=32))
     codec: str = "identity"  # any name in repro.sim.codec.codec_names()
+    #: randomness layout: "stream" draws everything from the simulator's
+    #: single seeded generator in event order (the legacy mode, required for
+    #: the pre-shard golden digests); "perpeer" decomposes jitter/loss/churn
+    #: into per-peer streams (repro.sim.network.PeerStreams), making draw
+    #: values independent of cross-peer event interleaving — the invariant
+    #: sharded execution needs.
+    rng_mode: str = "stream"
+    #: lower clamp on the jitter draw; must be positive for sharded runs
+    #: (it bounds the minimum cross-shard latency, i.e. the lookahead).
+    jitter_floor: float = 0.0
+    #: event-kernel shards: 0 = single-heap kernel; >= 1 runs through
+    #: repro.sim.shard.ShardedScenario (peers partitioned across heaps,
+    #: advanced in conservative virtual-time windows).
+    shards: int = 0
+    #: sharded executor: "serial" (lockstep in one process, the
+    #: deterministic reference) or "mp" (one worker process per shard).
+    executor: str = "serial"
     seed: int = 0
 
     def validate(self) -> None:
@@ -57,6 +74,25 @@ class ScenarioConfig:
             raise ConfigurationError(f"unknown churn model {self.churn!r}")
         if self.codec not in codec_names():
             raise ConfigurationError(f"unknown codec {self.codec!r}")
+        if self.rng_mode not in ("stream", "perpeer"):
+            raise ConfigurationError(f"unknown rng_mode {self.rng_mode!r}")
+        if self.executor not in ("serial", "mp"):
+            raise ConfigurationError(f"unknown executor {self.executor!r}")
+        if self.shards < 0:
+            raise ConfigurationError("shards must be >= 0")
+        if not 0.0 <= self.jitter_floor <= 1.0:
+            raise ConfigurationError("jitter_floor must be in [0, 1]")
+        if self.shards >= 1:
+            if self.rng_mode != "perpeer":
+                raise ConfigurationError(
+                    "sharded execution requires rng_mode='perpeer' (a single "
+                    "RNG stream cannot be split across shard heaps)"
+                )
+            if self.jitter_floor <= 0.0:
+                raise ConfigurationError(
+                    "sharded execution requires jitter_floor > 0 (it bounds "
+                    "the cross-shard lookahead window)"
+                )
         if self.shard.num_peers != self.num_peers:
             raise ConfigurationError(
                 "shard.num_peers must equal num_peers "
@@ -91,20 +127,25 @@ class Scenario:
     membership in sync and schedules periodic stabilization.
     """
 
+    #: True on shard-worker subclasses (repro.sim.shard): a plain Scenario
+    #: refuses configs demanding sharded execution.
+    sharded = False
+
     def __init__(self, config: ScenarioConfig) -> None:
         config.validate()
+        if config.shards >= 1 and not self.sharded:
+            raise ConfigurationError(
+                "config requests sharded execution (shards="
+                f"{config.shards}); build it through "
+                "repro.sim.shard.ShardedScenario"
+            )
         self.config = config
-        self.simulator = Simulator(seed=config.seed)
-        self.stats = StatsCollector()
-        self.network = PhysicalNetwork(
-            self.simulator,
-            latency=LatencyModel(
-                base_latency=config.base_latency,
-                bandwidth=config.bandwidth,
-                drop_probability=config.drop_probability,
-            ),
-            stats=self.stats,
+        self.streams: Optional[PeerStreams] = (
+            PeerStreams(config.seed) if config.rng_mode == "perpeer" else None
         )
+        self.simulator = self._make_simulator()
+        self.stats = StatsCollector()
+        self.network = self._make_network()
         self.overlay = config.build_overlay()
         self.codec_table = make_codec_table(config.codec)
         self.transport = Transport(
@@ -125,8 +166,49 @@ class Scenario:
             self.churn_model,
             on_leave=self._on_peer_leave,
             on_join=self._on_peer_join,
+            rng_for=self.streams.churn_rng if self.streams else None,
         )
         self._stabilize_scheduled = False
+
+    # -- construction hooks (overridden by shard workers) ---------------
+
+    def _make_simulator(self) -> Simulator:
+        return Simulator(seed=self.config.seed)
+
+    def _make_network(self) -> PhysicalNetwork:
+        return PhysicalNetwork(
+            self.simulator,
+            latency=self._make_latency(),
+            stats=self.stats,
+            rng_for_src=self.streams.net_rng if self.streams else None,
+            loss_rng_for_src=self.streams.loss_rng if self.streams else None,
+        )
+
+    def _make_latency(self) -> LatencyModel:
+        return LatencyModel(
+            base_latency=self.config.base_latency,
+            bandwidth=self.config.bandwidth,
+            drop_probability=self.config.drop_probability,
+            jitter_floor=self.config.jitter_floor,
+        )
+
+    # -- ownership hooks -------------------------------------------------
+    #
+    # In a sharded run every shard worker replicates the *global* control
+    # processes (churn timelines, overlay maintenance) to keep its replicas
+    # in sync, but each observable must be accounted exactly once across
+    # the fleet.  These hooks gate per-peer accounting to the peer's owning
+    # shard and run-global accounting to shard 0; on the single-heap
+    # kernel they are constant True, and the gated code paths are
+    # byte-identical to the ungated originals.
+
+    def owns(self, address: int) -> bool:
+        """True when this kernel accounts for ``address``'s activity."""
+        return True
+
+    def owns_control(self) -> bool:
+        """True when this kernel accounts run-global observables."""
+        return True
 
     # ------------------------------------------------------------------
 
@@ -137,11 +219,13 @@ class Scenario:
 
     def _on_peer_leave(self, address: int) -> None:
         self.overlay.leave(address)
-        self.stats.increment("churn_leaves")
+        if self.owns(address):
+            self.stats.increment("churn_leaves")
 
     def _on_peer_join(self, address: int) -> None:
         self.overlay.join(address)
-        self.stats.increment("churn_joins")
+        if self.owns(address):
+            self.stats.increment("churn_joins")
 
     #: maintenance probes are tiny control frames — no codec helps them
     MAINTENANCE_MSG_TYPE = "overlay.maintenance"
@@ -158,7 +242,8 @@ class Scenario:
         repair = getattr(self.overlay, "repair", None)
         if callable(repair):
             repair()
-        self.stats.increment("stabilize_rounds")
+        if self.owns_control():
+            self.stats.increment("stabilize_rounds")
         self._charge_maintenance()
         self.simulator.schedule(
             self.config.stabilize_interval, self._periodic_stabilize, "stabilize"
@@ -174,6 +259,8 @@ class Scenario:
         through the transport so the accounting matches real messages.
         """
         for address in self.overlay.members():
+            if not self.owns(address):
+                continue
             neighbors = self.overlay.neighbors(address)
             for neighbor in neighbors[: self.MAINTENANCE_PROBES_PER_NODE]:
                 self.transport.charge(

@@ -1,0 +1,991 @@
+"""Sharded event kernel: peers partitioned across K simulator heaps,
+advanced in conservative virtual-time windows.
+
+This is the parallel-discrete-event layer of the stack.  A
+:class:`ShardedScenario` splits the peer population across ``K`` shards
+(round-robin, :func:`shard_of`); each shard owns a full
+:class:`~repro.sim.engine.Simulator` heap and a replica of the scenario
+(overlay, liveness, churn timelines).  Shards advance in lockstep windows of
+length *lookahead* — the guaranteed minimum cross-shard delivery delay
+(:func:`compute_lookahead`) — so an event executed inside a window can never
+be affected by a message sent in the same window by another shard.
+
+**The cut point is the transport stack's network layer**
+(:class:`ShardNetwork`): a send whose destination lives on another shard is
+not scheduled locally — its full delivery (time, payload, sizes) is computed
+at send time from the source peer's own random streams, serialized into a
+per-window exchange queue, and injected into the destination shard's heap at
+the window barrier, ordered by ``(deliver_time, src_shard, seq)``.
+Intra-shard traffic never leaves its heap.
+
+**Why this reproduces the single-heap kernel bit-for-bit.**  Three design
+rules make every observable identical to the unsharded kernel running the
+same scenario:
+
+1. *Per-peer randomness* (``rng_mode="perpeer"``): jitter, loss and churn
+   draws come from per-peer streams (:class:`~repro.sim.network.PeerStreams`)
+   consumed only in their owner's causal order — which conservative windows
+   preserve — so no draw's value depends on cross-peer interleaving.
+2. *Replicated control plane*: churn timelines and overlay maintenance are
+   autonomous deterministic processes (they draw only from per-peer streams
+   and overlay state), so every shard replays them in full, keeping its
+   overlay/liveness replicas in sync without any cross-shard traffic.
+   Ownership hooks (:meth:`~repro.sim.scenario.Scenario.owns`) gate each
+   replicated observable to exactly one shard's
+   :class:`~repro.sim.stats.StatsCollector`.
+3. *Commutative accounting*: stats are counters; the merge of the per-shard
+   collectors (:meth:`StatsCollector.merge`) equals the single collector of
+   the unsharded run regardless of execution order.
+
+Two executors run the same shard-worker code:
+
+- ``serial`` — the deterministic reference: worker replicas run as lockstep
+  threads in one process, the coordinator routes exchange queues in memory.
+- ``mp`` — one forked worker process per shard; control messages flow over
+  pipes, exchange records over per-shard queues, and the per-worker stats
+  are merged in the parent via :meth:`StatsCollector.merge`.
+
+Both produce byte-identical fingerprints to each other and to the unsharded
+kernel; ``tests/test_shard_equivalence.py`` fuzzes that claim across
+overlay × protocol × churn × loss × codec × shard-count.
+
+SPMD contract for workloads: the workload callable runs *identically* in
+every worker (same seeds, same orchestration); per-peer work is either
+event-driven (scheduled only on the owning shard — see
+``P2PTagClassifier._run_staggered_round``) or orchestrator-driven
+(replicated calls whose network effects the :class:`ShardNetwork` gates by
+source ownership).  A single peer must not mix both styles within one
+training phase, or its loss stream would desynchronize across replicas.
+
+Not to be confused with :class:`repro.sim.distribution.ShardSpec`, which
+describes how *data* is distributed across peers; this module shards the
+*event kernel* across workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import LatencyModel, PhysicalNetwork
+from repro.sim.scenario import Scenario, ScenarioConfig
+from repro.sim.stats import StatsCollector
+
+_INF = float("inf")
+
+#: exchange record layout — a cross-shard delivery computed at send time:
+#: (deliver_at, src_shard, seq, src, dst, msg_type, payload, size_bytes,
+#:  wire_bytes, hops).  Plain tuples: cheap to pickle 100k+ of them per
+#: storm through the mp executor's queues.
+ExchangeRecord = Tuple[float, int, int, int, int, str, Any, int, int, int]
+
+Workload = Callable[[Scenario], Any]
+
+
+def shard_of(address: int, num_shards: int) -> int:
+    """Owning shard of a peer address (round-robin partition)."""
+    return address % num_shards
+
+
+def compute_lookahead(latency: LatencyModel) -> float:
+    """Conservative window length from the latency model's delay bounds.
+
+    Any delivery's delay is at least ``pair_factor_min (0.5) × base_latency
+    × jitter_min`` (plus a non-negative transmission term), where
+    ``jitter_min`` is the model's :attr:`~LatencyModel.jitter_floor` when
+    jitter is drawn and exactly 1 otherwise.  A message sent inside window
+    ``[W, W + lookahead)`` therefore delivers at or after the window end —
+    the conservative synchronization invariant.
+    """
+    lookahead = latency.min_propagation()
+    if lookahead <= 0:
+        raise ConfigurationError(
+            "latency model admits zero-delay deliveries (set jitter_floor "
+            "> 0 and base_latency > 0); conservative windows need a "
+            "positive lookahead"
+        )
+    return lookahead
+
+
+def scenario_digest(stats: StatsCollector, now: float) -> str:
+    """SHA-256 digest of a run's stats fingerprint + final virtual clock.
+
+    Exactly the recipe of the golden determinism suite, so sharded and
+    unsharded runs are comparable byte-for-byte.
+    """
+    payload = stats.fingerprint_bytes() + json.dumps({"now": now}).encode(
+        "ascii"
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Shard runtime: per-worker state shared by the worker's kernel and network.
+# ---------------------------------------------------------------------------
+
+
+class _ShardRuntime:
+    """One worker's shard identity, exchange outbox, and channel."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        channel: "_Channel",
+        lookahead: float,
+    ) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.channel = channel
+        self.lookahead = lookahead
+        #: per-destination-shard exchange queues for the current window
+        self.outbound: List[List[ExchangeRecord]] = [
+            [] for _ in range(num_shards)
+        ]
+        self.outbound_count = 0
+        self._seq = 0
+        #: back-reference for injecting received records (set by the
+        #: worker scenario once its network exists)
+        self.network: Optional[PhysicalNetwork] = None
+        self.windows = 0
+
+    def owns(self, address: int) -> bool:
+        return address % self.num_shards == self.shard_id
+
+    def append_record(
+        self,
+        deliver_at: float,
+        src: int,
+        dst: int,
+        msg_type: str,
+        payload: Any,
+        size_bytes: int,
+        wire_bytes: int,
+        hops: int,
+    ) -> None:
+        self._seq += 1
+        self.outbound[dst % self.num_shards].append(
+            (deliver_at, self.shard_id, self._seq, src, dst, msg_type,
+             payload, size_bytes, wire_bytes, hops)
+        )
+        self.outbound_count += 1
+
+    def take_outbound(self) -> List[List[ExchangeRecord]]:
+        out = self.outbound
+        self.outbound = [[] for _ in range(self.num_shards)]
+        self.outbound_count = 0
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The windowed shard kernel.
+# ---------------------------------------------------------------------------
+
+
+class ShardSimulator(Simulator):
+    """A shard's event heap, advanced in coordinator-agreed windows.
+
+    ``run()`` loops window barriers: flush the exchange outbox, receive the
+    coordinator's decision (next window start = the global minimum next
+    event time, so empty stretches are skipped in one hop) plus the sorted
+    inbound records, inject them, and run the plain kernel to the window
+    end.  The loop exits in lockstep — every worker sees the same decision
+    stream, so all workers perform the same number of barriers per ``run``
+    call, which is what keeps SPMD workloads aligned.
+    """
+
+    def __init__(self, seed: int, runtime: _ShardRuntime) -> None:
+        super().__init__(seed)
+        self._runtime = runtime
+        self._exhausted = False
+
+    @property
+    def pending_events(self) -> int:
+        """Live local events plus not-yet-exchanged cross-shard records."""
+        return self._pending + self._runtime.outbound_count
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        runtime = self._runtime
+        executed = 0
+        entry_now = self._now
+        last_this_run = -_INF
+        self._exhausted = False
+        while True:
+            decision = runtime.channel.sync(
+                runtime.take_outbound(),
+                self.next_event_time(),
+                last_this_run,
+                executed,
+            )
+            runtime.windows += 1
+            if decision.error is not None:
+                raise SimulationError(
+                    f"shard {runtime.shard_id}: aborted at window barrier: "
+                    f"{decision.error}"
+                )
+            self._inject(decision.inbox)
+            window_start = decision.window_start
+            if (
+                max_events is not None
+                and decision.total_executed >= max_events
+            ):
+                self._exhausted = True
+                break
+            if window_start == _INF:
+                # Global quiescence: every heap empty, nothing in flight.
+                if until is not None:
+                    if until > self._now:
+                        self._now = until
+                else:
+                    # Agree on the unsharded clock: the time of the last
+                    # event executed anywhere this run (window ends are
+                    # transient clamps and must not leak into `now`).
+                    self._now = max(entry_now, decision.global_last)
+                break
+            if until is not None and window_start > until:
+                if until > self._now:
+                    self._now = until
+                break
+            window_end = window_start + runtime.lookahead
+            if until is not None and window_end > until:
+                window_end = until
+            # Bound the window by the remaining event budget so a runaway
+            # schedule loop inside one window returns to the barrier (where
+            # the global exhaustion check raises) instead of hanging every
+            # other shard at its sync point forever.
+            inner_budget = (
+                None if max_events is None else max(0, max_events - executed)
+            )
+            ran = Simulator.run(
+                self, until=window_end, max_events=inner_budget
+            )
+            executed += ran
+            if ran:
+                last_this_run = self._last_event_time
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        executed = self.run(max_events=max_events)
+        if self._exhausted:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events "
+                "(summed across shards)"
+            )
+        return executed
+
+    def _inject(self, records: Sequence[ExchangeRecord]) -> None:
+        """Schedule received cross-shard deliveries at their exact times.
+
+        Records arrive sorted by ``(deliver_at, src_shard, seq)``; the
+        kernel's own past-time validation doubles as the conservative-
+        window guard (a record behind the local clock means the lookahead
+        contract was violated and raises loudly).
+        """
+        if not records:
+            return
+        network = self._runtime.network
+        self.schedule_batch_at(
+            [record[0] for record in records],
+            network._deliver_lazy,
+            (record[3:10] for record in records),
+        )
+
+
+class ShardNetwork(PhysicalNetwork):
+    """Shard-aware physical network: the cross-shard cut point.
+
+    Replicates the base send semantics with two twists:
+
+    - *Ownership gating*: only the source peer's owning shard records
+      traffic, draws jitter, and schedules delivery.  Replicated
+      orchestrator-level sends on other shards still compute the same
+      :class:`~repro.sim.transport.Outcome`-visible results (liveness from
+      the synced replica, drops from the shared per-peer loss stream) so
+      SPMD workload code observes identical outcomes everywhere while every
+      byte is accounted exactly once.
+    - *Exchange interception*: a delivery owed to a peer on another shard
+      becomes an :data:`ExchangeRecord` (full delivery time computed at
+      send time from the source's streams) instead of a local heap entry.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: LatencyModel,
+        stats: StatsCollector,
+        rng_for_src: Callable[[int], np.random.Generator],
+        loss_rng_for_src: Callable[[int], np.random.Generator],
+        runtime: _ShardRuntime,
+    ) -> None:
+        super().__init__(
+            simulator,
+            latency=latency,
+            stats=stats,
+            rng_for_src=rng_for_src,
+            loss_rng_for_src=loss_rng_for_src,
+        )
+        self._runtime = runtime
+
+    def _owns(self, address: int) -> bool:
+        return self._runtime.owns(address)
+
+    # -- sending -----------------------------------------------------------
+    #
+    # send/send_batch mirror PhysicalNetwork.send/send_batch line for line,
+    # with ownership gates interleaved at the three accounting points
+    # (record, drop counter, schedule/export).  The copy is deliberate: the
+    # base methods are the million-message hot path and must stay free of
+    # per-message hook calls.  ANY semantic edit to the base methods must be
+    # mirrored here — the golden + fuzz equivalence suites fail loudly on a
+    # missed mirror, but fix the copy, don't silence the suite.
+
+    def send(self, message: Message) -> bool:
+        if message.src == message.dst:
+            raise SimulationError("loopback messages need no network")
+        for listener in self._send_listeners:
+            listener(message)
+        if not self.is_up(message.src):
+            return False
+        owned = self._owns(message.src)
+        if owned:
+            self.stats.record_message(message)
+        if (
+            self.latency.drop_probability > 0
+            and self._loss_rng(message.src).random()
+            < self.latency.drop_probability
+        ):
+            if owned:
+                self.stats.increment("messages_dropped")
+            return False
+        if not owned:
+            # The owning shard performs the charge, jitter draw, and
+            # scheduling; this replica only reports the (identical) outcome.
+            return True
+        pair_factor = self._pair_base_latency(message.src, message.dst)
+        delay = pair_factor * self.latency.delay_for(
+            message, self._jitter_rng(message.src)
+        )
+        if self._owns(message.dst):
+            self.simulator.schedule(
+                delay, self._deliver, label="deliver", args=(message,)
+            )
+        else:
+            self._runtime.append_record(
+                self.simulator.now + delay,
+                message.src,
+                message.dst,
+                message.msg_type,
+                message.payload,
+                message.size_bytes,
+                message.wire_bytes,
+                message.hops,
+            )
+        return True
+
+    def send_batch(self, messages: Sequence[Message]) -> List[bool]:
+        for message in messages:
+            if message.src == message.dst:
+                raise SimulationError("loopback messages need no network")
+        if self.latency.drop_probability > 0 or len(messages) < 2:
+            return [self.send(message) for message in messages]
+        results: List[bool] = []
+        live: List[Message] = []
+        record = self.stats.record_message
+        listeners = self._send_listeners
+        for message in messages:
+            if listeners:
+                for listener in listeners:
+                    listener(message)
+            if not self.is_up(message.src):
+                results.append(False)
+                continue
+            results.append(True)
+            if not self._owns(message.src):
+                continue
+            record(message)
+            live.append(message)
+        if live:
+            self._schedule_block(live)
+        return results
+
+    def _schedule_block(self, live: List[Message]) -> None:
+        delays = self._block_delays(live)
+        runtime = self._runtime
+        now = self.simulator.now
+        local: List[Message] = []
+        local_delays: List[float] = []
+        for message, delay in zip(live, delays.tolist()):
+            if self._owns(message.dst):
+                local.append(message)
+                local_delays.append(delay)
+            else:
+                runtime.append_record(
+                    now + delay,
+                    message.src,
+                    message.dst,
+                    message.msg_type,
+                    message.payload,
+                    message.size_bytes,
+                    message.wire_bytes,
+                    message.hops,
+                )
+        if local:
+            self.simulator.schedule_batch(
+                local_delays, self._deliver, ((m,) for m in local)
+            )
+
+    def broadcast_block(
+        self,
+        src: int,
+        dsts: Sequence[int],
+        msg_type: str,
+        payload: Any,
+        size_bytes: int,
+        wire_bytes: Optional[int] = None,
+    ) -> np.ndarray:
+        count = len(dsts)
+        if not self._owns(src):
+            return np.ones(count, dtype=bool)
+        if wire_bytes is None:
+            wire_bytes = size_bytes
+        self.stats.record_message_block(
+            msg_type, size_bytes, src=src, dsts=dsts, wire_bytes=wire_bytes
+        )
+        delays = self._broadcast_delays(src, dsts, size_bytes)
+        runtime = self._runtime
+        now = self.simulator.now
+        local_args: List[tuple] = []
+        local_delays: List[float] = []
+        for dst, delay in zip(dsts, delays.tolist()):
+            if self._owns(dst):
+                local_args.append(
+                    (src, dst, msg_type, payload, size_bytes, wire_bytes)
+                )
+                local_delays.append(delay)
+            else:
+                runtime.append_record(
+                    now + delay, src, dst, msg_type, payload, size_bytes,
+                    wire_bytes, 1,
+                )
+        if local_args:
+            self.simulator.schedule_batch(
+                local_delays, self._deliver_lazy, local_args
+            )
+        return np.ones(count, dtype=bool)
+
+
+class _ShardWorkerScenario(Scenario):
+    """One shard's replica of the scenario, wired to the shard runtime."""
+
+    sharded = True
+
+    def __init__(self, config: ScenarioConfig, runtime: _ShardRuntime) -> None:
+        self._runtime = runtime
+        super().__init__(config)
+        runtime.network = self.network
+
+    def _make_simulator(self) -> Simulator:
+        return ShardSimulator(self.config.seed, self._runtime)
+
+    def _make_network(self) -> PhysicalNetwork:
+        return ShardNetwork(
+            self.simulator,
+            latency=self._make_latency(),
+            stats=self.stats,
+            rng_for_src=self.streams.net_rng,
+            loss_rng_for_src=self.streams.loss_rng,
+            runtime=self._runtime,
+        )
+
+    def owns(self, address: int) -> bool:
+        return self._runtime.owns(address)
+
+    def owns_control(self) -> bool:
+        return self._runtime.shard_id == 0
+
+
+# ---------------------------------------------------------------------------
+# Window coordination (shared by both executors).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Decision:
+    """One window barrier's coordinator verdict, identical for all shards
+    except for the per-shard inbox."""
+
+    window_start: float = _INF
+    global_last: float = -_INF
+    total_executed: int = 0
+    inbox: List[ExchangeRecord] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+class _Channel:
+    """Worker-side endpoint of the barrier protocol."""
+
+    def sync(
+        self,
+        outbound: List[List[ExchangeRecord]],
+        next_time: float,
+        last_time: float,
+        executed: int,
+    ) -> _Decision:
+        raise NotImplementedError
+
+    def finish(self, payload: Any) -> None:
+        raise NotImplementedError
+
+    def fail(self, message: str) -> None:
+        raise NotImplementedError
+
+
+def _sort_inbox(inbox: List[ExchangeRecord]) -> List[ExchangeRecord]:
+    """Deterministic injection order: (deliver_at, src_shard, seq)."""
+    inbox.sort(key=lambda record: (record[0], record[1], record[2]))
+    return inbox
+
+
+def _decide(
+    statuses: List[Tuple[List[List[ExchangeRecord]], float, float, int]],
+) -> Tuple[float, float, int, List[List[ExchangeRecord]]]:
+    """Route one barrier round: merge outboxes into per-shard inboxes and
+    compute the next window start (global minimum next-event time, counting
+    just-routed in-flight records), the agreed last-event clock, and the
+    global executed-event total."""
+    num_shards = len(statuses)
+    inboxes: List[List[ExchangeRecord]] = [[] for _ in range(num_shards)]
+    window_start = _INF
+    global_last = -_INF
+    total_executed = 0
+    for outbound, next_time, last_time, executed in statuses:
+        window_start = min(window_start, next_time)
+        global_last = max(global_last, last_time)
+        total_executed += executed
+        for dst_shard, records in enumerate(outbound):
+            if records:
+                inboxes[dst_shard].extend(records)
+    for box in inboxes:
+        if box:
+            window_start = min(
+                window_start, min(record[0] for record in box)
+            )
+            _sort_inbox(box)
+    return window_start, global_last, total_executed, inboxes
+
+
+# ---------------------------------------------------------------------------
+# Serial executor: lockstep worker threads, in-memory exchange.
+# ---------------------------------------------------------------------------
+
+
+class _ThreadChannel(_Channel):
+    def __init__(
+        self,
+        shard_id: int,
+        to_coordinator: "queue.Queue",
+        from_coordinator: "queue.Queue",
+    ) -> None:
+        self.shard_id = shard_id
+        self.to_coordinator = to_coordinator
+        self.from_coordinator = from_coordinator
+
+    def sync(self, outbound, next_time, last_time, executed) -> _Decision:
+        self.to_coordinator.put(
+            (self.shard_id, "sync", (outbound, next_time, last_time, executed))
+        )
+        return self.from_coordinator.get()
+
+    def finish(self, payload: Any) -> None:
+        self.to_coordinator.put((self.shard_id, "done", payload))
+
+    def fail(self, message: str) -> None:
+        self.to_coordinator.put((self.shard_id, "error", message))
+
+
+def _worker_body(
+    config: ScenarioConfig,
+    workload: Workload,
+    runtime: _ShardRuntime,
+) -> Any:
+    scenario = _ShardWorkerScenario(config, runtime)
+    result = workload(scenario)
+    return (scenario.stats, scenario.simulator.now, result)
+
+
+def _run_serial(
+    config: ScenarioConfig, workload: Workload, num_shards: int,
+    lookahead: float,
+) -> Tuple[List[tuple], int]:
+    to_coordinator: "queue.Queue" = queue.Queue()
+    from_coordinator = [queue.Queue() for _ in range(num_shards)]
+
+    def worker(shard_id: int) -> None:
+        channel = _ThreadChannel(
+            shard_id, to_coordinator, from_coordinator[shard_id]
+        )
+        try:
+            runtime = _ShardRuntime(shard_id, num_shards, channel, lookahead)
+            channel.finish(_worker_body(config, workload, runtime))
+        except BaseException:
+            channel.fail(traceback.format_exc())
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(num_shards)
+    ]
+    for thread in threads:
+        thread.start()
+
+    payloads: List[Optional[tuple]] = [None] * num_shards
+    windows = 0
+    while True:
+        round_messages: Dict[int, Tuple[str, Any]] = {}
+        while len(round_messages) < num_shards:
+            shard_id, kind, payload = to_coordinator.get()
+            if shard_id in round_messages:
+                raise SimulationError(
+                    f"shard {shard_id} raced the window barrier"
+                )
+            round_messages[shard_id] = (kind, payload)
+        kinds = {kind for kind, _ in round_messages.values()}
+        if "error" in kinds:
+            error = next(
+                payload
+                for kind, payload in round_messages.values()
+                if kind == "error"
+            )
+            for shard_id, (kind, _) in round_messages.items():
+                if kind == "sync":
+                    from_coordinator[shard_id].put(_Decision(error=error))
+            raise SimulationError(f"shard worker failed:\n{error}")
+        if kinds == {"done"}:
+            for shard_id, (_, payload) in round_messages.items():
+                payloads[shard_id] = payload
+            break
+        if kinds != {"sync"}:
+            error = "shard workers diverged (mixed done/sync at one barrier)"
+            for shard_id, (kind, _) in round_messages.items():
+                if kind == "sync":
+                    from_coordinator[shard_id].put(_Decision(error=error))
+            raise SimulationError(error)
+        statuses = [round_messages[i][1] for i in range(num_shards)]
+        window_start, global_last, total_executed, inboxes = _decide(statuses)
+        windows += 1
+        for shard_id in range(num_shards):
+            from_coordinator[shard_id].put(
+                _Decision(
+                    window_start=window_start,
+                    global_last=global_last,
+                    total_executed=total_executed,
+                    inbox=inboxes[shard_id],
+                )
+            )
+    for thread in threads:
+        thread.join(timeout=30.0)
+    return payloads, windows
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing executor: one forked worker per shard.
+# ---------------------------------------------------------------------------
+
+
+class _ProcessChannel(_Channel):
+    """Worker endpoint: control over a pipe to the parent coordinator, bulk
+    exchange records over per-destination-shard queues (peer to peer — the
+    parent never relays payload bytes, only counts and window decisions).
+
+    Exchange batches are tagged with their barrier index: queue puts are
+    flushed by a background feeder thread, so a fast shard's barrier-``n+1``
+    batch can reach a receiver before a slow shard's barrier-``n`` batch.
+    Early arrivals are stashed until their barrier comes up (a sender can
+    run at most one barrier ahead — the coordinator withholds the next
+    decision until every shard has synced — so the stash stays tiny).
+    """
+
+    def __init__(self, shard_id, num_shards, connection, data_queues) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.connection = connection
+        self.data_queues = data_queues
+        self._barrier = 0
+        self._stash: Dict[Tuple[int, int], List[ExchangeRecord]] = {}
+
+    def sync(self, outbound, next_time, last_time, executed) -> _Decision:
+        barrier = self._barrier
+        self._barrier += 1
+        counts = [len(box) for box in outbound]
+        min_outbound = _INF
+        for dst_shard, box in enumerate(outbound):
+            if box:
+                min_outbound = min(
+                    min_outbound, min(record[0] for record in box)
+                )
+                self.data_queues[dst_shard].put((self.shard_id, barrier, box))
+        self.connection.send(
+            ("sync", (next_time, last_time, executed, counts, min_outbound))
+        )
+        kind, payload = self.connection.recv()
+        if kind == "abort":
+            return _Decision(error=payload)
+        window_start, global_last, total_executed, senders = payload
+        inbox: List[ExchangeRecord] = []
+        expected = set(senders)
+        for src_shard in list(expected):
+            stashed = self._stash.pop((barrier, src_shard), None)
+            if stashed is not None:
+                inbox.extend(stashed)
+                expected.discard(src_shard)
+        while expected:
+            src_shard, batch_barrier, box = (
+                self.data_queues[self.shard_id].get()
+            )
+            if batch_barrier == barrier and src_shard in expected:
+                expected.discard(src_shard)
+                inbox.extend(box)
+            elif batch_barrier > barrier:
+                self._stash[(batch_barrier, src_shard)] = box
+            else:
+                raise SimulationError(
+                    f"shard {self.shard_id}: stale or duplicate exchange "
+                    f"batch from shard {src_shard} "
+                    f"(barrier {batch_barrier}, expected {barrier})"
+                )
+        return _Decision(
+            window_start=window_start,
+            global_last=global_last,
+            total_executed=total_executed,
+            inbox=_sort_inbox(inbox),
+        )
+
+    def finish(self, payload: Any) -> None:
+        self.connection.send(("done", payload))
+
+    def fail(self, message: str) -> None:
+        self.connection.send(("error", message))
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-fork platforms
+        raise ConfigurationError(
+            "the mp shard executor requires the fork start method "
+            "(unavailable on this platform); use executor='serial'"
+        ) from exc
+
+
+def _run_mp(
+    config: ScenarioConfig, workload: Workload, num_shards: int,
+    lookahead: float,
+) -> Tuple[List[tuple], int]:
+    context = _mp_context()
+    data_queues = [context.Queue() for _ in range(num_shards)]
+    parent_connections = []
+    processes = []
+
+    def child_main(shard_id: int, connection) -> None:
+        channel = _ProcessChannel(
+            shard_id, num_shards, connection, data_queues
+        )
+        try:
+            runtime = _ShardRuntime(shard_id, num_shards, channel, lookahead)
+            channel.finish(_worker_body(config, workload, runtime))
+        except BaseException:
+            try:
+                channel.fail(traceback.format_exc())
+            except Exception:
+                pass
+        try:
+            connection.recv()  # parent's "bye": results landed, safe to exit
+        except EOFError:
+            pass
+        os._exit(0)  # skip atexit/pytest teardown in the forked child
+
+    for shard_id in range(num_shards):
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=child_main, args=(shard_id, child_end), daemon=True
+        )
+        process.start()
+        child_end.close()
+        parent_connections.append(parent_end)
+        processes.append(process)
+
+    payloads: List[Optional[tuple]] = [None] * num_shards
+    windows = 0
+    failure: Optional[str] = None
+    try:
+        while True:
+            round_messages: Dict[int, Tuple[str, Any]] = {}
+            for shard_id, connection in enumerate(parent_connections):
+                kind, payload = connection.recv()
+                round_messages[shard_id] = (kind, payload)
+            kinds = {kind for kind, _ in round_messages.values()}
+            if "error" in kinds:
+                failure = next(
+                    payload
+                    for kind, payload in round_messages.values()
+                    if kind == "error"
+                )
+                for shard_id, (kind, _) in round_messages.items():
+                    if kind == "sync":
+                        parent_connections[shard_id].send(("abort", failure))
+                raise SimulationError(f"shard worker failed:\n{failure}")
+            if kinds == {"done"}:
+                for shard_id, (_, payload) in round_messages.items():
+                    payloads[shard_id] = payload
+                break
+            if kinds != {"sync"}:
+                failure = (
+                    "shard workers diverged (mixed done/sync at one barrier)"
+                )
+                for shard_id, (kind, _) in round_messages.items():
+                    if kind == "sync":
+                        parent_connections[shard_id].send(("abort", failure))
+                raise SimulationError(failure)
+            statuses = []
+            all_counts = []
+            window_start = _INF
+            global_last = -_INF
+            total_executed = 0
+            for shard_id in range(num_shards):
+                next_time, last_time, executed, counts, min_outbound = (
+                    round_messages[shard_id][1]
+                )
+                window_start = min(window_start, next_time, min_outbound)
+                global_last = max(global_last, last_time)
+                total_executed += executed
+                all_counts.append(counts)
+            windows += 1
+            for shard_id in range(num_shards):
+                senders = [
+                    src_shard
+                    for src_shard in range(num_shards)
+                    if all_counts[src_shard][shard_id] > 0
+                ]
+                parent_connections[shard_id].send(
+                    (
+                        "decision",
+                        (window_start, global_last, total_executed, senders),
+                    )
+                )
+    finally:
+        for connection in parent_connections:
+            try:
+                connection.send(("bye", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+        for data_queue in data_queues:
+            data_queue.close()
+    return payloads, windows
+
+
+# ---------------------------------------------------------------------------
+# Public API.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedRun:
+    """Merged outcome of one sharded execution."""
+
+    stats: StatsCollector
+    now: float
+    results: List[Any]
+    shards: int
+    executor: str
+    lookahead: float
+    #: window barriers the run synchronized at (diagnostics: with window
+    #: skipping this is bounded by the number of event clusters, not the
+    #: virtual duration / lookahead)
+    windows: int
+
+    def digest(self) -> str:
+        """Golden-suite-comparable digest (fingerprint + final clock)."""
+        return scenario_digest(self.stats, self.now)
+
+
+class ShardedScenario:
+    """K-shard execution harness behind one API for both executors.
+
+    ``run(workload)`` executes the SPMD ``workload(scenario)`` callable on
+    every shard worker (serial threads or forked processes per
+    ``executor``), merges the per-shard :class:`StatsCollector`s in shard
+    order, and agrees the final virtual clock — producing observables
+    byte-identical to the unsharded kernel running the same config.
+    """
+
+    def __init__(
+        self, config: ScenarioConfig, executor: Optional[str] = None
+    ) -> None:
+        config.validate()
+        if config.shards < 1:
+            raise ConfigurationError(
+                "ShardedScenario needs config.shards >= 1"
+            )
+        self.config = config
+        self.executor = executor if executor is not None else config.executor
+        if self.executor not in ("serial", "mp"):
+            raise ConfigurationError(f"unknown executor {self.executor!r}")
+        self.lookahead = compute_lookahead(
+            LatencyModel(
+                base_latency=config.base_latency,
+                bandwidth=config.bandwidth,
+                drop_probability=config.drop_probability,
+                jitter_floor=config.jitter_floor,
+            )
+        )
+
+    def run(self, workload: Workload) -> ShardedRun:
+        runner = _run_serial if self.executor == "serial" else _run_mp
+        payloads, windows = runner(
+            self.config, workload, self.config.shards, self.lookahead
+        )
+        merged = StatsCollector()
+        now = -_INF
+        results = []
+        for stats, worker_now, result in payloads:
+            merged.merge(stats)
+            now = max(now, worker_now)
+            results.append(result)
+        return ShardedRun(
+            stats=merged,
+            now=now,
+            results=results,
+            shards=self.config.shards,
+            executor=self.executor,
+            lookahead=self.lookahead,
+            windows=windows,
+        )
+
+
+def run_sharded(
+    config: ScenarioConfig,
+    workload: Workload,
+    executor: Optional[str] = None,
+) -> ShardedRun:
+    """Convenience wrapper: ``ShardedScenario(config, executor).run(...)``."""
+    return ShardedScenario(config, executor=executor).run(workload)

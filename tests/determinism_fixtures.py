@@ -49,6 +49,19 @@ LARGE_OVERLAYS = ("chord", "superpeer")
 LARGE_PROTOCOLS = ("pace", "cempar", "nbagg")
 LARGE_VARIANTS = ("none", "churn")
 
+#: the sharded golden tier: training replayed through the sharded event
+#: kernel (repro.sim.shard) at K shards, serial executor.  The digests must
+#: be identical across K *and* to the unsharded kernel running the same
+#: per-peer-randomness scenario — the file itself witnesses K-invariance.
+SHARDED_OVERLAYS = ("chord", "superpeer")
+SHARDED_PROTOCOLS = ("pace", "nbagg", "centralized")
+SHARDED_VARIANTS = ("none", "churn")
+SHARDED_COUNTS = (2, 4)
+
+#: jitter clamp used by every sharded / per-peer-randomness fixture: bounds
+#: the minimum cross-shard latency, i.e. the conservative lookahead window.
+SHARD_JITTER_FLOOR = 0.5
+
 
 def _build_peer_data():
     corpus = DeliciousGenerator(
@@ -84,23 +97,36 @@ def _build_large_peer_data():
     return corpus_to_peer_data(corpus, pipeline), sorted(corpus.tag_universe())
 
 
-def build_scenario(
+def build_scenario_config(
     overlay: str, variant: str, seed: int = 0, num_peers: int = NUM_PEERS,
-    codec: str = "identity",
-) -> Scenario:
+    codec: str = "identity", rng_mode: str = "stream", shards: int = 0,
+) -> ScenarioConfig:
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
+    return ScenarioConfig(
+        num_peers=num_peers,
+        overlay=overlay,
+        churn="exponential" if variant == "churn" else "none",
+        mean_session=40.0,
+        mean_downtime=15.0,
+        drop_probability=0.15 if variant == "loss" else 0.0,
+        shard=ShardSpec(num_peers=num_peers),
+        codec=codec,
+        rng_mode=rng_mode,
+        jitter_floor=SHARD_JITTER_FLOOR if rng_mode == "perpeer" else 0.0,
+        shards=shards,
+        seed=seed,
+    )
+
+
+def build_scenario(
+    overlay: str, variant: str, seed: int = 0, num_peers: int = NUM_PEERS,
+    codec: str = "identity", rng_mode: str = "stream",
+) -> Scenario:
     scenario = Scenario(
-        ScenarioConfig(
-            num_peers=num_peers,
-            overlay=overlay,
-            churn="exponential" if variant == "churn" else "none",
-            mean_session=40.0,
-            mean_downtime=15.0,
-            drop_probability=0.15 if variant == "loss" else 0.0,
-            shard=ShardSpec(num_peers=num_peers),
-            codec=codec,
-            seed=seed,
+        build_scenario_config(
+            overlay, variant, seed=seed, num_peers=num_peers, codec=codec,
+            rng_mode=rng_mode,
         )
     )
     if variant == "churn":
@@ -168,3 +194,69 @@ def run_training_large(
     classifier = build_classifier(protocol, scenario, peer_data, tags)
     classifier.train()
     return scenario, classifier
+
+
+# ---------------------------------------------------------------------------
+# Sharded-kernel fixtures: the same training runs through repro.sim.shard,
+# plus the unsharded per-peer-randomness reference they must match.
+# ---------------------------------------------------------------------------
+
+
+def digest_of(stats, now: float) -> str:
+    """Digest of one run: stats fingerprint + final virtual clock (the
+    golden recipe, shared by sharded and unsharded runs)."""
+    from repro.sim.shard import scenario_digest
+
+    return scenario_digest(stats, now)
+
+
+def training_workload(protocol: str, variant: str, codec: str = "identity"):
+    """SPMD workload: build and train one classifier on a (shard) scenario.
+
+    Runs identically in every shard worker and on the unsharded kernel —
+    the differential suites compare the resulting digests.
+    """
+
+    def workload(scenario: Scenario):
+        if variant == "churn":
+            scenario.start_churn()
+        classifier = build_classifier(protocol, scenario)
+        classifier.scalar_rounds = False
+        classifier.transport.scalar_broadcast = False
+        classifier.train()
+        return None
+
+    return workload
+
+
+def run_training_perpeer(
+    protocol: str, overlay: str, variant: str, codec: str = "identity",
+    num_peers: int = NUM_PEERS,
+) -> Tuple[object, float]:
+    """The unsharded reference: the single-heap kernel running the
+    per-peer-randomness scenario.  Returns (stats, final clock)."""
+    config = build_scenario_config(
+        overlay, variant, num_peers=num_peers, codec=codec,
+        rng_mode="perpeer",
+    )
+    scenario = Scenario(config)
+    training_workload(protocol, variant, codec)(scenario)
+    return scenario.stats, scenario.simulator.now
+
+
+def run_training_sharded(
+    protocol: str, overlay: str, variant: str, shards: int,
+    executor: str = "serial", codec: str = "identity",
+    num_peers: int = NUM_PEERS,
+):
+    """Train one combo through the K-shard kernel; returns the
+    :class:`repro.sim.shard.ShardedRun` (merged stats + agreed clock)."""
+    from repro.sim.shard import ShardedScenario
+
+    config = build_scenario_config(
+        overlay, variant, num_peers=num_peers, codec=codec,
+        rng_mode="perpeer", shards=shards,
+    )
+    return ShardedScenario(config, executor=executor).run(
+        training_workload(protocol, variant, codec)
+    )

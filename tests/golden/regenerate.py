@@ -25,14 +25,21 @@ def main() -> int:
         LARGE_VARIANTS,
         OVERLAYS,
         PROTOCOLS,
+        SHARDED_COUNTS,
+        SHARDED_OVERLAYS,
+        SHARDED_PROTOCOLS,
+        SHARDED_VARIANTS,
         VARIANTS,
     )
     from tests.test_golden_determinism import (
         GOLDEN_PATH,
         LARGE_GOLDEN_PATH,
+        SHARDED_GOLDEN_PATH,
         combo_digest,
         combo_digest_large,
+        combo_digest_sharded,
         combo_key,
+        sharded_combo_key,
     )
 
     digests = {}
@@ -59,6 +66,21 @@ def main() -> int:
         json.dumps(large, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     print(f"wrote {len(large)} large-N digests to {LARGE_GOLDEN_PATH}")
+
+    sharded = {}
+    for overlay in SHARDED_OVERLAYS:
+        for protocol in SHARDED_PROTOCOLS:
+            for variant in SHARDED_VARIANTS:
+                for shards in SHARDED_COUNTS:
+                    key = sharded_combo_key(overlay, protocol, variant, shards)
+                    sharded[key] = combo_digest_sharded(
+                        protocol, overlay, variant, shards
+                    )
+                    print(f"[shard] {key:<36} {sharded[key][:16]}…")
+    SHARDED_GOLDEN_PATH.write_text(
+        json.dumps(sharded, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(sharded)} sharded digests to {SHARDED_GOLDEN_PATH}")
     return 0
 
 

@@ -29,14 +29,24 @@ from tests.determinism_fixtures import (
     LARGE_VARIANTS,
     OVERLAYS,
     PROTOCOLS,
+    SHARDED_COUNTS,
+    SHARDED_OVERLAYS,
+    SHARDED_PROTOCOLS,
+    SHARDED_VARIANTS,
     VARIANTS,
+    digest_of,
     run_training,
     run_training_large,
+    run_training_perpeer,
+    run_training_sharded,
 )
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "training_digests.json"
 LARGE_GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "training_digests_large.json"
+)
+SHARDED_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "training_digests_sharded.json"
 )
 
 #: gates the N=100 tier (nightly CI; seconds per combo instead of millis)
@@ -57,13 +67,14 @@ def combo_key(overlay: str, protocol: str, variant: str) -> str:
     return f"{overlay}/{protocol}/{variant}"
 
 
-def _digest_scenario(scenario) -> str:
-    import hashlib
+def sharded_combo_key(
+    overlay: str, protocol: str, variant: str, shards: int
+) -> str:
+    return f"{overlay}/{protocol}/{variant}/k{shards}"
 
-    payload = scenario.stats.fingerprint_bytes() + json.dumps(
-        {"now": scenario.simulator.now}
-    ).encode("ascii")
-    return hashlib.sha256(payload).hexdigest()
+
+def _digest_scenario(scenario) -> str:
+    return digest_of(scenario.stats, scenario.simulator.now)
 
 
 def combo_digest(protocol: str, overlay: str, variant: str) -> str:
@@ -76,6 +87,13 @@ def combo_digest_large(protocol: str, overlay: str, variant: str) -> str:
     """Digest of one 100-peer training run of the nightly tier."""
     scenario, _ = run_training_large(protocol, overlay, variant)
     return _digest_scenario(scenario)
+
+
+def combo_digest_sharded(
+    protocol: str, overlay: str, variant: str, shards: int
+) -> str:
+    """Digest of one training run through the K-shard serial executor."""
+    return run_training_sharded(protocol, overlay, variant, shards).digest()
 
 
 def load_goldens(path: Path = GOLDEN_PATH) -> dict:
@@ -151,3 +169,67 @@ def test_large_n_golden_file_has_no_stale_entries():
     }
     stale = set(goldens) - expected
     assert not stale, f"stale large-N golden entries: {sorted(stale)}. {REGEN_HINT}"
+
+
+# ---------------------------------------------------------------------------
+# Sharded tier: the same determinism contract through the K-shard kernel
+# (repro.sim.shard).  The pinned digests double as a K-invariance witness —
+# for each combo the k2 and k4 entries must be identical, and both must
+# equal the unsharded per-peer-randomness kernel.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", SHARDED_COUNTS)
+@pytest.mark.parametrize("variant", SHARDED_VARIANTS)
+@pytest.mark.parametrize("protocol", SHARDED_PROTOCOLS)
+@pytest.mark.parametrize("overlay", SHARDED_OVERLAYS)
+def test_sharded_training_digest_matches_golden(
+    overlay, protocol, variant, shards
+):
+    key = sharded_combo_key(overlay, protocol, variant, shards)
+    goldens = load_goldens(SHARDED_GOLDEN_PATH)
+    assert key in goldens, f"no sharded golden digest for {key}. {REGEN_HINT}"
+    actual = combo_digest_sharded(protocol, overlay, variant, shards)
+    assert actual == goldens[key], (
+        f"sharded stats digest drifted for {key}: expected "
+        f"{goldens[key][:16]}…, got {actual[:16]}…. Same seed no longer "
+        f"produces bit-identical stats through the K-shard kernel. "
+        f"{REGEN_HINT}"
+    )
+
+
+@pytest.mark.parametrize("variant", SHARDED_VARIANTS)
+@pytest.mark.parametrize("protocol", SHARDED_PROTOCOLS)
+@pytest.mark.parametrize("overlay", SHARDED_OVERLAYS)
+def test_sharded_goldens_are_shard_count_invariant_and_match_unsharded(
+    overlay, protocol, variant
+):
+    """The checked-in digests witness the sharding theorem: identical
+    across K, and equal to the unsharded kernel on the same scenario."""
+    goldens = load_goldens(SHARDED_GOLDEN_PATH)
+    digests = {
+        goldens[sharded_combo_key(overlay, protocol, variant, shards)]
+        for shards in SHARDED_COUNTS
+    }
+    assert len(digests) == 1, (
+        f"{overlay}/{protocol}/{variant}: golden digests differ across "
+        f"shard counts. {REGEN_HINT}"
+    )
+    stats, now = run_training_perpeer(protocol, overlay, variant)
+    assert digest_of(stats, now) == digests.pop(), (
+        f"{overlay}/{protocol}/{variant}: unsharded per-peer kernel "
+        f"diverged from the sharded goldens. {REGEN_HINT}"
+    )
+
+
+def test_sharded_golden_file_has_no_stale_entries():
+    goldens = load_goldens(SHARDED_GOLDEN_PATH)
+    expected = {
+        sharded_combo_key(o, p, v, k)
+        for o in SHARDED_OVERLAYS
+        for p in SHARDED_PROTOCOLS
+        for v in SHARDED_VARIANTS
+        for k in SHARDED_COUNTS
+    }
+    stale = set(goldens) - expected
+    assert not stale, f"stale sharded golden entries: {sorted(stale)}. {REGEN_HINT}"
