@@ -20,7 +20,7 @@ import pytest
 from repro.bench.harness import ExperimentSetting, run_experiment
 from repro.bench.reporting import format_table
 
-from _common import write_results
+from _common import cpu_count, peak_rss_mb, write_bench_trajectory, write_results
 
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
@@ -402,21 +402,23 @@ def test_e3_broadcast_codec_axis(benchmark, request):
 # ---------------------------------------------------------------------------
 # E3e sharded-storm axis: the transport storm through the K-shard kernel
 # (repro.sim.shard).  Every row must be byte-identical to the unsharded
-# kernel; the mp executor's wall-clock is the sharding payoff.
+# kernel; the mp executor's wall-clock is the sharding payoff, and the
+# directory control plane's construction counters are the O(N/K) witness.
 # ---------------------------------------------------------------------------
 
 SHARDED_STORM_NODES = 100 if _SMOKE else 1000
 SHARDED_STORM_ROUNDS = 5 if _SMOKE else 20
 SHARDED_STORM_FANOUT = STORM_FANOUT  # 1000 x 10 x 20 = the 200k-message bar
 SHARDED_STORM_SHARDS = 2 if _SMOKE else 4
+#: the directory-mode scale-out axis (K ∈ {8, 16} at full size): SPMD
+#: replication priced every worker O(N); the directory serves construction
+#: so these shard counts become worth running.
+DIRECTORY_STORM_SHARDS = (2,) if _SMOKE else (8, 16)
 SHARDED_STORM_PAYLOAD_BYTES = 200
 
 
 def _cpus():
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    return cpu_count()
 
 
 def _storm_workload(num_nodes, rounds, fanout):
@@ -426,6 +428,9 @@ def _storm_workload(num_nodes, rounds, fanout):
     under sharding each node's fire event is scheduled only on its owning
     shard, so send-side work (jitter draws, stats, scheduling) partitions
     across workers and cross-shard deliveries ride the exchange queues.
+    Registration goes through the ownership gate
+    (:meth:`Scenario.register_peer`): directory-mode workers materialize
+    handlers only for owned peers.  Returns (delivered, construction_cost).
     """
 
     def workload(scenario):
@@ -437,7 +442,7 @@ def _storm_workload(num_nodes, rounds, fanout):
             delivered[0] += 1
 
         for node in range(num_nodes):
-            scenario.network.register(node, handler)
+            scenario.register_peer(node, handler)
         transport = scenario.transport
         simulator = scenario.simulator
 
@@ -460,12 +465,13 @@ def _storm_workload(num_nodes, rounds, fanout):
                 if owns(src):
                     simulator.schedule_at(at, fire, args=(src, round_index))
         simulator.run_until_idle(max_events=5_000_000)
-        return delivered[0]
+        return delivered[0], scenario.construction_cost()
 
     return workload
 
 
-def _sharded_storm_config(num_nodes, shards, seed=3):
+def _sharded_storm_config(num_nodes, shards, seed=3,
+                          control_plane="replicated"):
     from repro.sim.distribution import ShardSpec
     from repro.sim.scenario import ScenarioConfig
 
@@ -476,21 +482,30 @@ def _sharded_storm_config(num_nodes, shards, seed=3):
         jitter_floor=0.5,
         shards=shards,
         shard=ShardSpec(num_peers=num_nodes),
+        control_plane=control_plane if shards else "replicated",
         seed=seed,
     )
 
 
-def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3):
-    """One sharded storm run; returns (elapsed, digest, delivered, windows)."""
+def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
+                      control_plane="replicated"):
+    """One sharded storm run; returns (elapsed, digest, delivered, windows,
+    max-per-worker construction cost)."""
     from repro.sim.shard import ShardedScenario
 
     workload = _storm_workload(num_nodes, rounds, fanout)
     start = time.perf_counter()
     run = ShardedScenario(
-        _sharded_storm_config(num_nodes, shards, seed), executor=executor
+        _sharded_storm_config(num_nodes, shards, seed, control_plane),
+        executor=executor,
     ).run(workload)
     elapsed = time.perf_counter() - start
-    return elapsed, run.digest(), sum(run.results), run.windows
+    delivered = sum(result[0] for result in run.results)
+    cost = {
+        key: max(result[1][key] for result in run.results)
+        for key in run.results[0][1]
+    }
+    return elapsed, run.digest(), delivered, run.windows, cost
 
 
 def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
@@ -501,37 +516,54 @@ def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
     workload = _storm_workload(num_nodes, rounds, fanout)
     start = time.perf_counter()
     scenario = Scenario(_sharded_storm_config(num_nodes, 0, seed))
-    delivered = workload(scenario)
+    delivered, cost = workload(scenario)
     elapsed = time.perf_counter() - start
     return (
         elapsed,
         scenario_digest(scenario.stats, scenario.simulator.now),
         delivered,
         0,
+        cost,
     )
+
+
+def _storm_configs():
+    """(label, shards, executor, control_plane, repeats) per E3e row."""
+    nodes = SHARDED_STORM_NODES
+    k = SHARDED_STORM_SHARDS
+    configs = [
+        ("unsharded", 0, None, "replicated", 2),
+        (f"serial k{k}", k, "serial", "replicated", 2),
+        (f"mp k{k}", k, "mp", "replicated", 2),
+    ]
+    for dk in DIRECTORY_STORM_SHARDS:
+        # Best-of-two on the K=8 pair (it carries the speedup bar); the
+        # K=16 oversubscription row is informational and runs once.
+        repeats = 2 if dk <= 8 else 1
+        configs.append((f"serial k{dk} dir", dk, "serial", "directory",
+                        repeats))
+        configs.append((f"mp k{dk} dir", dk, "mp", "directory", repeats))
+    return configs
 
 
 def run_sharded_storm_rows():
     nodes = SHARDED_STORM_NODES
     rounds = SHARDED_STORM_ROUNDS
     fanout = SHARDED_STORM_FANOUT
-    shards = SHARDED_STORM_SHARDS
-    configs = [
-        ("unsharded", lambda: run_unsharded_storm(nodes, rounds, fanout)),
-        (
-            f"serial k{shards}",
-            lambda: run_sharded_storm(nodes, shards, "serial", rounds, fanout),
-        ),
-        (
-            f"mp k{shards}",
-            lambda: run_sharded_storm(nodes, shards, "mp", rounds, fanout),
-        ),
-    ]
     rows = []
-    for label, runner in configs:
-        # Best of two: one warmup-and-measure pair keeps ratios stable.
-        elapsed, digest, delivered, windows = min(
-            (runner() for _ in range(2)), key=lambda r: r[0]
+    bench_entries = []
+    for label, shards, executor, plane, repeats in _storm_configs():
+        def run_once():
+            if shards == 0:
+                return run_unsharded_storm(nodes, rounds, fanout)
+            return run_sharded_storm(
+                nodes, shards, executor, rounds, fanout,
+                control_plane=plane,
+            )
+
+        # Best of `repeats`: a warmup-and-measure pair keeps ratios stable.
+        elapsed, digest, delivered, windows, cost = min(
+            (run_once() for _ in range(repeats)), key=lambda r: r[0]
         )
         messages = nodes * rounds * fanout
         rows.append(
@@ -541,10 +573,35 @@ def run_sharded_storm_rows():
                 messages,
                 delivered,
                 windows,
+                cost["peers_materialized"],
+                cost["overlay_entries_built"],
                 round(elapsed, 3),
                 int(messages / max(elapsed, 1e-9)),
                 digest[:16],
             ]
+        )
+        bench_entries.append(
+            {
+                "kernel": label,
+                "shards": shards,
+                "executor": executor or "local",
+                "control_plane": plane,
+                "nodes": nodes,
+                "messages": messages,
+                "seconds": round(elapsed, 3),
+                "peak_rss_mb": peak_rss_mb(children=(executor == "mp")),
+                "peers_materialized_max": cost["peers_materialized"],
+                "overlay_entries_built_max": cost["overlay_entries_built"],
+                "stats_digest": digest[:16],
+            }
+        )
+    if not _SMOKE:
+        # Smoke runs (CI tier-1, local quick checks) shrink N and K, so
+        # their entries are not comparable to the checked-in full-size
+        # baseline — only full runs refresh BENCH_e3.json.
+        write_bench_trajectory(
+            "e3", bench_entries,
+            context={"smoke": False, "rounds": rounds, "fanout": fanout},
         )
     return rows
 
@@ -553,32 +610,59 @@ def run_sharded_storm_rows():
 def test_e3_sharded_storm(benchmark):
     rows = benchmark.pedantic(run_sharded_storm_rows, rounds=1, iterations=1)
     headers = [
-        "nodes", "kernel", "messages", "delivered", "windows", "seconds",
-        "msgs/sec", "stats_digest",
+        "nodes", "kernel", "messages", "delivered", "windows", "peers_mat",
+        "ovl_built", "seconds", "msgs/sec", "stats_digest",
     ]
     table = format_table(
         f"E3e  Sharded storm at {SHARDED_STORM_NODES} nodes "
         f"({SHARDED_STORM_NODES * SHARDED_STORM_ROUNDS * SHARDED_STORM_FANOUT}"
-        f" messages, K={SHARDED_STORM_SHARDS})",
+        f" messages; K={SHARDED_STORM_SHARDS} replicated, "
+        f"K∈{DIRECTORY_STORM_SHARDS} directory; peers_mat/ovl_built are "
+        "max per worker)",
         headers,
         rows,
     )
     write_results("e3_sharded_storm", table, headers=headers, rows=rows)
 
-    expected = (
-        SHARDED_STORM_NODES * SHARDED_STORM_ROUNDS * SHARDED_STORM_FANOUT
-    )
-    # The sharding theorem at bench scale: every kernel shape produces
-    # byte-identical stats digests and full delivery.
-    digests = {row[7] for row in rows}
+    nodes = SHARDED_STORM_NODES
+    expected = nodes * SHARDED_STORM_ROUNDS * SHARDED_STORM_FANOUT
+    # The sharding theorem at bench scale: every kernel shape — replicated
+    # or directory-served — produces byte-identical stats digests and full
+    # delivery.
+    digests = {row[9] for row in rows}
     assert len(digests) == 1, f"kernel shapes diverged: {rows}"
     for row in rows:
         assert row[3] == expected
-    serial_row = next(r for r in rows if r[1].startswith("serial"))
-    mp_row = next(r for r in rows if r[1].startswith("mp"))
-    speedup = serial_row[5] / max(mp_row[5], 1e-9)
+
+    by_label = {row[1]: row for row in rows}
+    # The O(N/K) construction contract, asserted numerically: replicated
+    # workers each materialize all N peers and build the whole overlay;
+    # directory workers materialize ceil(N/K) and build zero entries.
+    assert by_label["unsharded"][5] == nodes
+    assert by_label[f"serial k{SHARDED_STORM_SHARDS}"][5] == nodes
+    for dk in DIRECTORY_STORM_SHARDS:
+        dir_row = by_label[f"mp k{dk} dir"]
+        assert dir_row[5] == -(-nodes // dk), (
+            f"directory k{dk}: peers materialized per worker should be "
+            f"ceil(N/K), got {dir_row[5]}"
+        )
+        assert dir_row[6] == 0, "directory views must not build entries"
+
+    serial_row = by_label[f"serial k{SHARDED_STORM_SHARDS}"]
+    mp_row = by_label[f"mp k{SHARDED_STORM_SHARDS}"]
+    speedup = serial_row[7] / max(mp_row[7], 1e-9)
     if not _SMOKE and _cpus() >= 4:
-        # Acceptance bar: >= 1.5x over the lockstep serial reference with
+        # PR 4's bar: >= 1.5x over the lockstep serial reference with
         # >= 4 workers on >= 4 cores.  (On smaller runners the mp row still
         # verifies correctness; the parallel payoff needs parallel silicon.)
         assert speedup >= 1.5, f"sharded storm speedup {speedup:.2f}x < 1.5x"
+    if not _SMOKE and _cpus() >= 8 and 8 in DIRECTORY_STORM_SHARDS:
+        # The directory-mode scale-out bar: >= 2.5x mp-vs-serial at K=8 on
+        # >= 8 cores, now that workers no longer pay O(N) control plane.
+        dir_speedup = (
+            by_label["serial k8 dir"][7]
+            / max(by_label["mp k8 dir"][7], 1e-9)
+        )
+        assert dir_speedup >= 2.5, (
+            f"directory storm speedup {dir_speedup:.2f}x < 2.5x at K=8"
+        )

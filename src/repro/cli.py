@@ -72,6 +72,7 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
             codec=args.codec,
             shards=args.shards,
             executor=args.executor,
+            control_plane=args.control_plane,
             train_fraction=args.train_fraction,
             threshold=args.threshold,
             seed=args.seed,
@@ -113,6 +114,13 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
         help="sharded executor: lockstep serial reference or one worker "
         "process per shard",
     )
+    parser.add_argument(
+        "--control-plane", choices=("replicated", "directory"),
+        default="replicated", dest="control_plane",
+        help="sharded control plane: replicate churn/maintenance in every "
+        "worker, or serve overlay snapshots + per-window deltas from one "
+        "directory (O(N/K) per-worker cost; requires --shards >= 1)",
+    )
     parser.add_argument("--train-fraction", type=float, default=0.2)
     parser.add_argument("--threshold", type=float, default=0.5)
     parser.add_argument("--max-eval", type=int, default=80)
@@ -123,11 +131,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     system.train()
     if system.sharded_run is not None:
         run = system.sharded_run
-        print(
+        line = (
             f"[shard] K={run.shards} executor={run.executor} "
-            f"windows={run.windows} lookahead={run.lookahead:.4f}s "
+            f"plane={run.control_plane} windows={run.windows} "
+            f"lookahead={run.lookahead:.4f}s "
             f"digest={run.digest()[:16]}… == local kernel (verified)"
         )
+        if run.control_plane == "directory":
+            line += (
+                f" control_records={run.control_records} "
+                f"control_bytes={run.control_bytes}"
+            )
+        print(line)
     if args.tune_thresholds:
         system.tune_thresholds()
     report = system.evaluate(max_documents=args.max_eval)

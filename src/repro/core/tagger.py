@@ -52,6 +52,10 @@ class SystemConfig:
     shards: int = 0
     #: sharded executor ("serial" or "mp"), used when shards >= 1
     executor: str = "serial"
+    #: sharded control plane ("replicated" or "directory"): "directory"
+    #: serves overlay snapshots + per-window deltas from one authoritative
+    #: control plane so per-worker cost is O(N/K)
+    control_plane: str = "replicated"
     mean_session: float = 600.0
     mean_downtime: float = 60.0
     train_fraction: float = 0.2  # the paper's 20 % manual-tag protocol
@@ -74,6 +78,15 @@ class SystemConfig:
             raise ConfigurationError("shards must be >= 0")
         if self.executor not in ("serial", "mp"):
             raise ConfigurationError(f"unknown executor {self.executor!r}")
+        if self.control_plane not in ("replicated", "directory"):
+            raise ConfigurationError(
+                f"unknown control plane {self.control_plane!r}"
+            )
+        if self.control_plane == "directory" and self.shards < 1:
+            raise ConfigurationError(
+                "the directory control plane only applies to sharded "
+                "execution (set shards >= 1)"
+            )
 
 
 @dataclass
@@ -350,6 +363,7 @@ class P2PDocTaggerSystem:
             self._scenario_config,
             shards=self.config.shards,
             executor=self.config.executor,
+            control_plane=self.config.control_plane,
         )
         churn = self.config.churn
         peer_data = self._peer_data

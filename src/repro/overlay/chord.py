@@ -14,7 +14,7 @@ import bisect
 from typing import Dict, List, Optional
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult, register_overlay
+from repro.overlay.base import Overlay, RouteResult, StateSlot, register_overlay
 from repro.overlay.idspace import ID_BITS, ID_SPACE, in_interval, node_id_for
 
 
@@ -40,6 +40,34 @@ class ChordOverlay(Overlay):
         self._fingers: Dict[int, List[int]] = {}  # address -> finger addresses
         self._successors: Dict[int, List[int]] = {}  # address -> successor addrs
         self._predecessors: Dict[int, int] = {}  # address -> predecessor addr
+
+    def _state_slots(self):
+        return {
+            "ids": StateSlot(
+                "dict", lambda: self._ids,
+                lambda v: setattr(self, "_ids", v),
+            ),
+            "ring_ids": StateSlot(
+                "value", lambda: self._ring_ids,
+                lambda v: setattr(self, "_ring_ids", v),
+            ),
+            "ring_addresses": StateSlot(
+                "value", lambda: self._ring_addresses,
+                lambda v: setattr(self, "_ring_addresses", v),
+            ),
+            "fingers": StateSlot(
+                "dict", lambda: self._fingers,
+                lambda v: setattr(self, "_fingers", v),
+            ),
+            "successors": StateSlot(
+                "dict", lambda: self._successors,
+                lambda v: setattr(self, "_successors", v),
+            ),
+            "predecessors": StateSlot(
+                "dict", lambda: self._predecessors,
+                lambda v: setattr(self, "_predecessors", v),
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Membership
@@ -115,6 +143,7 @@ class ChordOverlay(Overlay):
             self._predecessors[address] = self._ring_addresses[index - 1]
         else:
             self._predecessors[address] = address
+        self.entries_built += len(fingers) + len(successors) + 1
 
     def stabilize(self) -> None:
         """Repair every member's fingers and successor lists."""

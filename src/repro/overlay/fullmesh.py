@@ -14,7 +14,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List
 
-from repro.overlay.base import Overlay, RouteResult, register_overlay
+from repro.overlay.base import Overlay, RouteResult, StateSlot, register_overlay
 from repro.overlay.idspace import ID_SPACE, node_id_for
 
 
@@ -28,6 +28,22 @@ class FullMeshOverlay(Overlay):
         self._ring_ids: List[int] = []  # sorted overlay ids
         self._ring_addresses: List[int] = []  # parallel to _ring_ids
 
+    def _state_slots(self):
+        return {
+            "ids": StateSlot(
+                "dict", lambda: self._ids,
+                lambda v: setattr(self, "_ids", v),
+            ),
+            "ring_ids": StateSlot(
+                "value", lambda: self._ring_ids,
+                lambda v: setattr(self, "_ring_ids", v),
+            ),
+            "ring_addresses": StateSlot(
+                "value", lambda: self._ring_addresses,
+                lambda v: setattr(self, "_ring_addresses", v),
+            ),
+        }
+
     # -- membership ----------------------------------------------------------
 
     def join(self, address: int) -> None:
@@ -38,6 +54,7 @@ class FullMeshOverlay(Overlay):
         index = bisect.bisect_left(self._ring_ids, overlay_id)
         self._ring_ids.insert(index, overlay_id)
         self._ring_addresses.insert(index, address)
+        self.entries_built += 1
 
     def leave(self, address: int) -> None:
         overlay_id = self._ids.pop(address, None)

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.overlay.base import Overlay, RouteResult, register_overlay
+from repro.overlay.base import Overlay, RouteResult, StateSlot, register_overlay
 from repro.overlay.idspace import ID_BITS, node_id_for, xor_distance
 
 
@@ -38,6 +38,28 @@ class KademliaOverlay(Overlay):
         self._rng = np.random.default_rng(seed)
         self._ids: Dict[int, int] = {}  # address -> overlay id
         self._buckets: Dict[int, List[List[int]]] = {}  # address -> buckets
+
+    def _set_rng_state(self, state) -> None:
+        self._rng.bit_generator.state = state
+
+    def _state_slots(self):
+        # The sampling RNG is a state slot: join ops replicated on directory
+        # views consume it exactly like the authority, and served stabilize
+        # edits carry the post-refresh state so views never drift.
+        return {
+            "ids": StateSlot(
+                "dict", lambda: self._ids,
+                lambda v: setattr(self, "_ids", v),
+            ),
+            "buckets": StateSlot(
+                "dict", lambda: self._buckets,
+                lambda v: setattr(self, "_buckets", v),
+            ),
+            "rng": StateSlot(
+                "value", lambda: self._rng.bit_generator.state,
+                self._set_rng_state,
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Membership
@@ -86,12 +108,14 @@ class KademliaOverlay(Overlay):
             return
         if len(bucket) < self.k:
             bucket.append(contact)
+            self.entries_built += 1
             return
         # Kademlia evicts a dead head; otherwise the newcomer is dropped.
         head = bucket[0]
         if head not in self._ids:
             bucket.pop(0)
             bucket.append(contact)
+            self.entries_built += 1
 
     def _populate_buckets(self, address: int) -> None:
         """Fill the node's buckets from current members (join-time lookups)."""

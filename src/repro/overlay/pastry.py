@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult, register_overlay
+from repro.overlay.base import Overlay, RouteResult, StateSlot, register_overlay
 from repro.overlay.idspace import ID_BITS, node_id_for
 
 
@@ -72,6 +72,26 @@ class PastryOverlay(Overlay):
         # address -> leaf set (addresses, numerically nearest ids)
         self._leaves: Dict[int, List[int]] = {}
 
+    def _state_slots(self):
+        return {
+            "ids": StateSlot(
+                "dict", lambda: self._ids,
+                lambda v: setattr(self, "_ids", v),
+            ),
+            "digit_cache": StateSlot(
+                "dict", lambda: self._digit_cache,
+                lambda v: setattr(self, "_digit_cache", v),
+            ),
+            "tables": StateSlot(
+                "dict", lambda: self._tables,
+                lambda v: setattr(self, "_tables", v),
+            ),
+            "leaves": StateSlot(
+                "dict", lambda: self._leaves,
+                lambda v: setattr(self, "_leaves", v),
+            ),
+        }
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
@@ -122,6 +142,9 @@ class PastryOverlay(Overlay):
             key=lambda o: abs(self._ids[o] - my_id),
         )
         self._leaves[address] = ordered[: self.leaf_set_size]
+        self.entries_built += (
+            sum(len(row) for row in table.values()) + len(self._leaves[address])
+        )
 
     def stabilize(self) -> None:
         """Rebuild every member's routing table and leaf set."""

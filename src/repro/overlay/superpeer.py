@@ -29,7 +29,7 @@ import bisect
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult, register_overlay
+from repro.overlay.base import Overlay, RouteResult, StateSlot, register_overlay
 from repro.overlay.idspace import ID_SPACE, key_id_for, node_id_for
 
 
@@ -134,6 +134,24 @@ class SuperPeerOverlay(Overlay):
         self._members = _Ring()
         self._core = _Ring()  # super-peers only
 
+    def _state_slots(self):
+        def ring_slot(ring: _Ring, attr: str) -> StateSlot:
+            return StateSlot(
+                "value", lambda: getattr(ring, attr),
+                lambda v: setattr(ring, attr, v),
+            )
+
+        return {
+            "ids": StateSlot(
+                "dict", lambda: self._ids,
+                lambda v: setattr(self, "_ids", v),
+            ),
+            "member_ids": ring_slot(self._members, "ids"),
+            "member_addresses": ring_slot(self._members, "addresses"),
+            "core_ids": ring_slot(self._core, "ids"),
+            "core_addresses": ring_slot(self._core, "addresses"),
+        }
+
     @staticmethod
     def _election_hash(address: int) -> int:
         return key_id_for(f"sp-elect|{address}")
@@ -152,8 +170,10 @@ class SuperPeerOverlay(Overlay):
             raise OverlayError(f"id collision for address {address}")
         self._ids[address] = overlay_id
         self._members.add(overlay_id, address)
+        self.entries_built += 1
         if self.is_super_peer(address):
             self._core.add(overlay_id, address)
+            self.entries_built += 1
 
     def leave(self, address: int) -> None:
         overlay_id = self._ids.pop(address, None)

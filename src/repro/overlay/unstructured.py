@@ -14,7 +14,7 @@ from typing import Dict, List, Set
 import numpy as np
 
 from repro.errors import OverlayError
-from repro.overlay.base import Overlay, RouteResult, register_overlay
+from repro.overlay.base import Overlay, RouteResult, StateSlot, register_overlay
 from repro.overlay.idspace import node_id_for
 
 
@@ -45,6 +45,23 @@ class UnstructuredOverlay(Overlay):
         self._rng = np.random.default_rng(seed)
         self._edges: Dict[int, Set[int]] = {}
 
+    def _set_rng_state(self, state) -> None:
+        self._rng.bit_generator.state = state
+
+    def _state_slots(self):
+        # The link-sampling RNG rides along so directory views stay aligned
+        # with the authority across replicated joins and served repairs.
+        return {
+            "edges": StateSlot(
+                "dict", lambda: self._edges,
+                lambda v: setattr(self, "_edges", v),
+            ),
+            "rng": StateSlot(
+                "value", lambda: self._rng.bit_generator.state,
+                self._set_rng_state,
+            ),
+        }
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
@@ -62,6 +79,7 @@ class UnstructuredOverlay(Overlay):
             other = existing[int(index)]
             self._edges[address].add(other)
             self._edges[other].add(address)
+            self.entries_built += 1
 
     def leave(self, address: int) -> None:
         neighbors = self._edges.pop(address, set())
@@ -100,6 +118,7 @@ class UnstructuredOverlay(Overlay):
                 self._edges[address].add(other)
                 self._edges[other].add(address)
                 added += 1
+        self.entries_built += added
         return added
 
     # ------------------------------------------------------------------

@@ -160,10 +160,16 @@ class P2PTagClassifier(ABC):
         #: the PhysicalNetwork directly (uniform charging and batching).
         self.transport = scenario.transport
         # Register every peer on the physical network so traffic flows.
-        self.nodes: Dict[int, SimNode] = {
-            address: SimNode(address, scenario.network)
-            for address in scenario.peer_addresses
-        }
+        # Materialization is ownership-gated: on a directory-mode shard
+        # worker only owned peers build a SimNode (the O(N/K) construction
+        # contract); remote peers register as directory-served endpoints so
+        # liveness checks still answer globally.  Everywhere else the gate
+        # is constant-open and all N peers materialize as before.
+        self.nodes: Dict[int, SimNode] = {}
+        for address in scenario.peer_addresses:
+            node = scenario.materialize_peer(address)
+            if node is not None:
+                self.nodes[address] = node
 
     # -- lifecycle --------------------------------------------------------
 

@@ -116,6 +116,51 @@ class ParetoChurn(ChurnModel):
         return float(rng.exponential(self.mean_downtime))
 
 
+class DirectoryChurnClient:
+    """Worker-side stand-in for :class:`ChurnDriver` under the directory
+    control plane (:mod:`repro.sim.shard`).
+
+    Directory-mode shard workers do not replay churn timelines: the
+    directory generates every leave/rejoin once and serves them as
+    per-window delta records, which the worker applies at their exact
+    virtual times.  This client keeps the driver's *interface* alive for
+    SPMD workload code — ``start``/``stop`` forward control requests
+    through the next window barrier, the leave/join counters advance as
+    served records are applied, and :meth:`suppresses` reproduces the
+    driver's ``_active`` check locally (a record generated before the
+    directory learned of ``stop()`` must no-op, exactly as the queued
+    driver event would have).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        model: ChurnModel,
+        request: Callable[[str, float], None],
+    ) -> None:
+        self.simulator = simulator
+        self.model = model
+        self._request = request
+        self.leave_count = 0
+        self.join_count = 0
+        self.stopped_at: Optional[float] = None
+
+    def start(self, node_ids: List[int]) -> None:
+        """Ask the directory to begin churn cycles (no-op without churn)."""
+        if not self.model.churns:
+            return
+        self._request("start_churn", self.simulator.now)
+
+    def stop(self) -> None:
+        """Stop churn from now on (already-served records still no-op)."""
+        self.stopped_at = self.simulator.now
+        self._request("stop_churn", self.simulator.now)
+
+    def suppresses(self, time: float) -> bool:
+        """True when a served churn record at ``time`` must be skipped."""
+        return self.stopped_at is not None and time > self.stopped_at
+
+
 class ChurnDriver:
     """Schedules leave/rejoin cycles for a set of peers.
 

@@ -230,6 +230,10 @@ class PhysicalNetwork:
         self.latency = latency or LatencyModel()
         self.stats = stats or StatsCollector()
         self._handlers: Dict[int, DeliveryHandler] = {}
+        #: peers registered *elsewhere* (directory-served membership): a
+        #: sharded worker marks peers it does not own as remote so liveness
+        #: checks answer globally while only owned peers carry handlers.
+        self._remote: Set[int] = set()
         self._down: Set[int] = set()
         self._pair_latency_cache: Dict[tuple, float] = {}
         self._send_listeners: List[SendListener] = []
@@ -258,10 +262,25 @@ class PhysicalNetwork:
     def register(self, node_id: int, handler: DeliveryHandler) -> None:
         """Attach a node's receive handler to the network."""
         self._handlers[node_id] = handler
+        self._remote.discard(node_id)
+        self._down.discard(node_id)
+
+    def register_remote(self, node_id: int) -> None:
+        """Mark a peer as a live endpoint whose handler lives on another
+        shard (directory-served membership).
+
+        Liveness checks (:meth:`is_up`, :meth:`are_up`) treat the peer like
+        any registered node; an actual *delivery* to it is a sharding
+        contract violation (cross-shard deliveries must be exchanged to the
+        owning shard) and lands in ``messages_undeliverable``.
+        """
+        if node_id not in self._handlers:
+            self._remote.add(node_id)
         self._down.discard(node_id)
 
     def unregister(self, node_id: int) -> None:
         self._handlers.pop(node_id, None)
+        self._remote.discard(node_id)
         self._down.discard(node_id)
 
     def set_down(self, node_id: int, down: bool = True) -> None:
@@ -272,14 +291,18 @@ class PhysicalNetwork:
             self._down.discard(node_id)
 
     def is_up(self, node_id: int) -> bool:
-        return node_id in self._handlers and node_id not in self._down
+        return (
+            node_id in self._handlers or node_id in self._remote
+        ) and node_id not in self._down
 
     def are_up(self, node_ids: Sequence[int]) -> np.ndarray:
         """Vectorized :meth:`is_up` over a block of addresses."""
         handlers = self._handlers
+        remote = self._remote
         down = self._down
         return np.fromiter(
-            (n in handlers and n not in down for n in node_ids),
+            ((n in handlers or n in remote) and n not in down
+             for n in node_ids),
             dtype=bool,
             count=len(node_ids),
         )
@@ -290,10 +313,14 @@ class PhysicalNetwork:
 
     @property
     def registered_nodes(self) -> Set[int]:
-        return set(self._handlers)
+        return set(self._handlers) | self._remote
 
     def live_nodes(self) -> Set[int]:
-        return {n for n in self._handlers if n not in self._down}
+        return {
+            n
+            for n in (*self._handlers, *self._remote)
+            if n not in self._down
+        }
 
     # -- observation ---------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.sim.churn import (
 from repro.sim.distribution import ShardSpec
 from repro.sim.engine import Simulator
 from repro.sim.network import LatencyModel, PeerStreams, PhysicalNetwork
+from repro.sim.node import SimNode
 from repro.sim.stats import StatsCollector
 from repro.sim.transport import Transport
 
@@ -63,6 +64,13 @@ class ScenarioConfig:
     #: sharded executor: "serial" (lockstep in one process, the
     #: deterministic reference) or "mp" (one worker process per shard).
     executor: str = "serial"
+    #: sharded control plane: "replicated" (every worker replays churn
+    #: timelines and overlay maintenance for all N peers — the PR 4 SPMD
+    #: scheme) or "directory" (one authoritative control plane owns them,
+    #: publishes an overlay snapshot at startup plus per-window delta
+    #: records, and workers apply deltas at barriers — per-worker control
+    #: and construction cost drops to O(N/K)).
+    control_plane: str = "replicated"
     seed: int = 0
 
     def validate(self) -> None:
@@ -78,6 +86,15 @@ class ScenarioConfig:
             raise ConfigurationError(f"unknown rng_mode {self.rng_mode!r}")
         if self.executor not in ("serial", "mp"):
             raise ConfigurationError(f"unknown executor {self.executor!r}")
+        if self.control_plane not in ("replicated", "directory"):
+            raise ConfigurationError(
+                f"unknown control plane {self.control_plane!r}"
+            )
+        if self.control_plane == "directory" and self.shards < 1:
+            raise ConfigurationError(
+                "the directory control plane only applies to sharded "
+                "execution (set shards >= 1)"
+            )
         if self.shards < 0:
             raise ConfigurationError("shards must be >= 0")
         if not 0.0 <= self.jitter_floor <= 1.0:
@@ -131,6 +148,11 @@ class Scenario:
     #: refuses configs demanding sharded execution.
     sharded = False
 
+    #: True on directory-mode shard workers: overlay state is served by the
+    #: directory control plane (snapshot + per-window deltas) and per-peer
+    #: state materializes only for owned peers.
+    directory_mode = False
+
     def __init__(self, config: ScenarioConfig) -> None:
         config.validate()
         if config.shards >= 1 and not self.sharded:
@@ -146,7 +168,12 @@ class Scenario:
         self.simulator = self._make_simulator()
         self.stats = StatsCollector()
         self.network = self._make_network()
-        self.overlay = config.build_overlay()
+        self.peer_addresses: List[int] = list(range(config.num_peers))
+        #: per-peer states (SimNodes / handler registrations) built by THIS
+        #: kernel — ≈ N/K on a directory-mode shard worker, N otherwise
+        #: (see construction_cost)
+        self.peers_materialized = 0
+        self.overlay = self._build_overlay()
         self.codec_table = make_codec_table(config.codec)
         self.transport = Transport(
             self.network,
@@ -154,13 +181,34 @@ class Scenario:
             stats=self.stats,
             codec=self.codec_table,
         )
-        self.peer_addresses: List[int] = list(range(config.num_peers))
-        for address in self.peer_addresses:
-            self.overlay.join(address)
-        self._finalize_overlay()
 
         self.churn_model = config.build_churn_model()
-        self.churn_driver = ChurnDriver(
+        self.churn_driver = self._make_churn_driver()
+        self._stabilize_scheduled = False
+
+    # -- construction hooks (overridden by shard workers) ---------------
+
+    def _make_simulator(self) -> Simulator:
+        return Simulator(seed=self.config.seed)
+
+    def _build_overlay(self) -> Overlay:
+        """Construct the overlay with every peer joined and tables built.
+
+        Directory-mode shard workers override this: they restore the
+        directory's startup snapshot instead of recomputing N joins worth
+        of routing state.
+        """
+        overlay = self.config.build_overlay()
+        for address in self.peer_addresses:
+            overlay.join(address)
+        stabilize = getattr(overlay, "stabilize", None)
+        if callable(stabilize):
+            stabilize()
+        return overlay
+
+    def _make_churn_driver(self):
+        """The churn process driver (directory workers use a served client)."""
+        return ChurnDriver(
             self.simulator,
             self.network,
             self.churn_model,
@@ -168,12 +216,6 @@ class Scenario:
             on_join=self._on_peer_join,
             rng_for=self.streams.churn_rng if self.streams else None,
         )
-        self._stabilize_scheduled = False
-
-    # -- construction hooks (overridden by shard workers) ---------------
-
-    def _make_simulator(self) -> Simulator:
-        return Simulator(seed=self.config.seed)
 
     def _make_network(self) -> PhysicalNetwork:
         return PhysicalNetwork(
@@ -210,12 +252,55 @@ class Scenario:
         """True when this kernel accounts run-global observables."""
         return True
 
-    # ------------------------------------------------------------------
+    def materializes(self, address: int) -> bool:
+        """True when this kernel must build per-peer state for ``address``.
 
-    def _finalize_overlay(self) -> None:
-        stabilize = getattr(self.overlay, "stabilize", None)
-        if callable(stabilize):
-            stabilize()
+        Constant True except on directory-mode shard workers, where only
+        owned peers materialize (remote peers are directory-served: their
+        liveness is synced by delta records, their handlers live on the
+        owning shard).
+        """
+        return True
+
+    def materialize_peer(self, address: int) -> Optional[SimNode]:
+        """Ownership-gated :class:`SimNode` construction.
+
+        Returns the node when this kernel materializes ``address``; remote
+        peers are registered as directory-served endpoints and ``None`` is
+        returned.  The one sanctioned way for protocols to build their peer
+        fleets — it feeds the ``peers_materialized`` construction counter.
+        """
+        if self.materializes(address):
+            self.peers_materialized += 1
+            return SimNode(address, self.network)
+        self.network.register_remote(address)
+        return None
+
+    def register_peer(self, address: int, handler) -> bool:
+        """Ownership-gated raw handler registration (workloads that do not
+        need typed :class:`SimNode` dispatch).  Returns True when the peer
+        materialized locally."""
+        if self.materializes(address):
+            self.network.register(address, handler)
+            self.peers_materialized += 1
+            return True
+        self.network.register_remote(address)
+        return False
+
+    def construction_cost(self) -> dict:
+        """Numeric construction-cost counters (the O(N/K) witness).
+
+        ``peers_materialized`` counts per-peer states this kernel built;
+        ``overlay_entries_built`` counts routing-table entries its overlay
+        instance computed (a directory-served view applies edits instead,
+        so the counter stays near zero).
+        """
+        return {
+            "peers_materialized": self.peers_materialized,
+            "overlay_entries_built": self.overlay.entries_built,
+        }
+
+    # ------------------------------------------------------------------
 
     def _on_peer_leave(self, address: int) -> None:
         self.overlay.leave(address)
@@ -275,11 +360,46 @@ class Scenario:
     def start_churn(self) -> None:
         """Begin churn cycles and periodic overlay maintenance."""
         self.churn_driver.start(self.peer_addresses)
+        if self.directory_mode:
+            # Maintenance is directory-scheduled: the control plane emits
+            # per-window delta records for stabilize rounds too.
+            return
         if self.churn_model.churns and not self._stabilize_scheduled:
             self._stabilize_scheduled = True
             self.simulator.schedule(
                 self.config.stabilize_interval, self._periodic_stabilize, "stabilize"
             )
+
+    # -- directory control-plane application (shard workers) -------------
+    #
+    # Under control_plane="directory" the worker's churn/maintenance state
+    # is *served*: the directory publishes (time, kind, payload) records one
+    # window ahead, the shard kernel schedules them at their exact virtual
+    # times, and this method applies them — mirroring, observable for
+    # observable, what ChurnDriver._leave/_rejoin and _periodic_stabilize
+    # do on the replicated path above.
+
+    def _apply_control_record(self, record) -> None:
+        time, kind, payload = record
+        if kind == "leave":
+            if self.churn_driver.suppresses(time):
+                return
+            self.network.set_down(payload, True)
+            self.churn_driver.leave_count += 1
+            self._on_peer_leave(payload)
+        elif kind == "join":
+            if self.churn_driver.suppresses(time):
+                return
+            self.network.set_down(payload, False)
+            self.churn_driver.join_count += 1
+            self._on_peer_join(payload)
+        elif kind == "maintenance":
+            self.overlay.apply_state_edits(payload)
+            if self.owns_control():
+                self.stats.increment("stabilize_rounds")
+            self._charge_maintenance()
+        else:  # pragma: no cover - wire-format drift guard
+            raise ConfigurationError(f"unknown control record kind {kind!r}")
 
     def live_peers(self) -> List[int]:
         """Peers currently in the overlay (i.e. not churned out)."""

@@ -57,6 +57,22 @@ event-driven (scheduled only on the owning shard — see
 source ownership).  A single peer must not mix both styles within one
 training phase, or its loss stream would desynchronize across replicas.
 
+**The directory control plane** (``control_plane="directory"``) sheds rule
+2's per-worker O(N) price: instead of every shard replaying churn timelines
+and overlay maintenance for all N peers, one authoritative
+:class:`DirectoryControlPlane` (owned by the window coordinator) runs them
+once, publishes a deterministic overlay snapshot at startup plus per-window
+:data:`ControlRecord` deltas — join/leave membership ops and served
+route-table edits, serialized and ordered like exchange records — and
+workers apply the deltas at barriers, scheduled at their exact virtual
+times.  Worker overlays become *views*: same class, same route algorithms,
+state restored rather than computed; per-peer workload state materializes
+only for owned peers (:meth:`Scenario.materialize_peer`).  The equivalence
+argument changes from "every shard computes everything identically" to "one
+writer, K readers, provably the same observable stream" — enforced by the
+same differential fuzz and golden suites, byte for byte, plus the
+directory-specific tiers in ``tests/test_directory_plane.py``.
+
 Not to be confused with :class:`repro.sim.distribution.ShardSpec`, which
 describes how *data* is distributed across peers; this module shards the
 *event kernel* across workers.
@@ -65,6 +81,8 @@ describes how *data* is distributed across peers; this module shards the
 from __future__ import annotations
 
 import hashlib
+import heapq
+import itertools
 import json
 import os
 import queue
@@ -76,9 +94,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.churn import DirectoryChurnClient
 from repro.sim.engine import Simulator
-from repro.sim.messages import Message
-from repro.sim.network import LatencyModel, PhysicalNetwork
+from repro.sim.messages import Message, payload_size
+from repro.sim.network import LatencyModel, PeerStreams, PhysicalNetwork
 from repro.sim.scenario import Scenario, ScenarioConfig
 from repro.sim.stats import StatsCollector
 
@@ -89,6 +108,14 @@ _INF = float("inf")
 #:  wire_bytes, hops).  Plain tuples: cheap to pickle 100k+ of them per
 #: storm through the mp executor's queues.
 ExchangeRecord = Tuple[float, int, int, int, int, str, Any, int, int, int]
+
+#: directory delta record layout — one control-plane observable, serialized
+#: and ordered like exchange records: (virtual time, kind, payload) with
+#: kind ∈ {"leave", "join", "maintenance"}.  Leave/join carry the peer
+#: address (replicated cheap ops: the view updates membership itself);
+#: maintenance carries the served route-table edits
+#: (:data:`repro.overlay.base.StateEdit` tuples) the authority computed.
+ControlRecord = Tuple[float, str, Any]
 
 Workload = Callable[[Scenario], Any]
 
@@ -131,6 +158,215 @@ def scenario_digest(stats: StatsCollector, now: float) -> str:
 
 
 # ---------------------------------------------------------------------------
+# The directory control plane (control_plane="directory").
+# ---------------------------------------------------------------------------
+
+
+class DirectoryControlPlane:
+    """The single authoritative control plane of a directory-mode run.
+
+    Owned by the window coordinator (the parent process under the mp
+    executor, the coordinator loop under serial).  It constructs the one
+    authoritative overlay — N joins plus table finalization, paid exactly
+    once per run instead of once per shard — publishes its
+    :attr:`snapshot` for workers to restore at startup, and generates the
+    churn/maintenance timeline as :data:`ControlRecord` deltas, one window
+    *ahead* of execution.
+
+    Why one window ahead works: churn timelines are autonomous deterministic
+    processes — session/downtime draws come from per-peer churn streams
+    (:class:`~repro.sim.network.PeerStreams`) and never depend on message
+    flow — and maintenance is periodic.  So when the coordinator has decided
+    the next window ``[W, W + lookahead)``, every control event inside it is
+    already computable: :meth:`advance` pops the event heap up to the window
+    end, executes each event against the authoritative overlay, and emits
+    the resulting record (leave/join as replicated membership ops,
+    maintenance as served route-table edits via
+    :meth:`~repro.overlay.base.Overlay.diff_state`).  Workers receive the
+    records with the window decision and schedule their application at the
+    exact virtual times, so mid-window route resolutions observe state
+    byte-identical to the replicated (and unsharded) kernels.
+
+    Tie ordering is the heap's ``(time, seq)``: seq is allocated in schedule
+    order — initial leaves in peer-address order, then stabilize, then
+    rescheduled events in execution order — exactly the order the unsharded
+    :class:`~repro.sim.churn.ChurnDriver` + stabilize chain would pop them.
+
+    ``stop_churn`` arrives at the barrier *after* the window in which the
+    workload called it; records already published past the stop time are
+    suppressed worker-side (:meth:`DirectoryChurnClient.suppresses`), which
+    reproduces the driver's "queued events fire inactive" semantics.  The
+    authoritative overlay, however, has already executed such records, so a
+    stop that lands mid-window with published churn behind it raises loudly
+    instead of letting later maintenance diffs serve diverged state (see
+    :meth:`_stop`).
+    """
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        if config.control_plane != "directory":
+            raise ConfigurationError(
+                "DirectoryControlPlane requires control_plane='directory'"
+            )
+        self.config = config
+        self.peer_addresses = list(range(config.num_peers))
+        self.overlay = config.build_overlay()
+        for address in self.peer_addresses:
+            self.overlay.join(address)
+        stabilize = getattr(self.overlay, "stabilize", None)
+        if callable(stabilize):
+            stabilize()
+        #: the startup snapshot workers restore their overlay views from
+        self.snapshot = self.overlay.export_state()
+        self.snapshot_bytes = payload_size(self.snapshot)
+        self.model = config.build_churn_model()
+        self.streams = PeerStreams(config.seed)
+        self._heap: List[Tuple[float, int, str, Optional[int]]] = []
+        self._seq = itertools.count()
+        self._active: Dict[int, bool] = {}
+        self._down: set = set()
+        self._stabilize_scheduled = False
+        #: virtual times of every published churn record — consulted by
+        #: _stop to detect the unsupported mid-window stop (see below)
+        self._published_churn_times: List[float] = []
+        self.records_emitted = 0
+        self.edits_emitted = 0
+        self.record_bytes = 0
+
+    # -- barrier protocol ---------------------------------------------------
+
+    def handle_requests(
+        self, requests: Sequence[Tuple[str, float]]
+    ) -> None:
+        """Process the shards' (SPMD-identical) control requests."""
+        for kind, time in requests:
+            if kind == "start_churn":
+                self._start(time)
+            elif kind == "stop_churn":
+                self._stop(time)
+            else:  # pragma: no cover - wire-format drift guard
+                raise SimulationError(f"unknown control request {kind!r}")
+
+    def next_time(self) -> float:
+        """Earliest unpublished control event (``inf`` when idle)."""
+        return self._heap[0][0] if self._heap else _INF
+
+    def advance(self, until: float) -> List[ControlRecord]:
+        """Execute control events through ``until``; emit their records.
+
+        Called once per window barrier with the agreed window end; events
+        pop in ``(time, seq)`` order and each window's records extend the
+        previously published horizon exactly once (the heap is the cursor).
+        """
+        records: List[ControlRecord] = []
+        while self._heap and self._heap[0][0] <= until:
+            time, _, kind, peer = heapq.heappop(self._heap)
+            if kind == "leave":
+                self._exec_leave(time, peer, records)
+            elif kind == "rejoin":
+                self._exec_rejoin(time, peer, records)
+            else:
+                self._exec_stabilize(time, records)
+        if records:
+            self.records_emitted += len(records)
+            self.record_bytes += payload_size(records)
+        return records
+
+    # -- the churn / maintenance timeline ----------------------------------
+
+    def _schedule(self, time: float, kind: str, peer: Optional[int]) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, peer))
+
+    def _start(self, t0: float) -> None:
+        """Mirror Scenario.start_churn: per-peer leave cycles, then the
+        periodic stabilize chain."""
+        if self.model.churns:
+            for peer in self.peer_addresses:
+                self._active[peer] = True
+                self._schedule_leave(t0, peer)
+        if self.model.churns and not self._stabilize_scheduled:
+            self._stabilize_scheduled = True
+            self._schedule(
+                t0 + self.config.stabilize_interval, "stabilize", None
+            )
+
+    def _stop(self, time: float) -> None:
+        # A stop request reaches the plane one barrier after the workload
+        # called it, but records for that window were published — and
+        # executed against the authoritative overlay — at the window's
+        # opening barrier.  Workers correctly suppress published churn
+        # records past the stop instant (DirectoryChurnClient.suppresses),
+        # so a churn record in (stop, window_end] means the authority has
+        # applied a membership change the fleet skipped: every later
+        # maintenance diff would serve state the replicated kernel never
+        # reaches.  Rather than silently diverge, fail loudly — directory
+        # mode supports stop() whenever no churn record past the stop
+        # instant was already published (in particular any stop between
+        # run() calls or in churn-quiet stretches).
+        suppressed = [t for t in self._published_churn_times if t > time]
+        if suppressed:
+            raise SimulationError(
+                f"directory control plane: stop_churn at t={time} arrived "
+                f"after churn records at {sorted(suppressed)} were already "
+                "published and applied to the authoritative overlay; the "
+                "served state would diverge from the replicated kernel. "
+                "Stop churn at a churn-quiet point, or use "
+                "control_plane='replicated' for mid-window stops."
+            )
+        for peer in self._active:
+            self._active[peer] = False
+
+    def _schedule_leave(self, now: float, peer: int) -> None:
+        session = self.model.session_time(self.streams.churn_rng(peer))
+        if session == _INF:
+            return
+        self._schedule(now + session, "leave", peer)
+
+    def _exec_leave(
+        self, time: float, peer: int, records: List[ControlRecord]
+    ) -> None:
+        if not self._active.get(peer):
+            return
+        if peer in self._down:
+            return
+        self._down.add(peer)
+        self.overlay.leave(peer)
+        records.append((time, "leave", peer))
+        self._published_churn_times.append(time)
+        downtime = self.model.downtime(self.streams.churn_rng(peer))
+        self._schedule(time + downtime, "rejoin", peer)
+
+    def _exec_rejoin(
+        self, time: float, peer: int, records: List[ControlRecord]
+    ) -> None:
+        if not self._active.get(peer):
+            return
+        self._down.discard(peer)
+        self.overlay.join(peer)
+        records.append((time, "join", peer))
+        self._published_churn_times.append(time)
+        self._schedule_leave(time, peer)
+
+    def _exec_stabilize(
+        self, time: float, records: List[ControlRecord]
+    ) -> None:
+        """One maintenance round, served: recompute on the authority, diff,
+        emit only the changed route-table entries."""
+        before = self.overlay.export_state()
+        stabilize = getattr(self.overlay, "stabilize", None)
+        if callable(stabilize):
+            stabilize()
+        repair = getattr(self.overlay, "repair", None)
+        if callable(repair):
+            repair()
+        edits = self.overlay.diff_state(before)
+        self.edits_emitted += len(edits)
+        records.append((time, "maintenance", edits))
+        self._schedule(
+            time + self.config.stabilize_interval, "stabilize", None
+        )
+
+
+# ---------------------------------------------------------------------------
 # Shard runtime: per-worker state shared by the worker's kernel and network.
 # ---------------------------------------------------------------------------
 
@@ -144,6 +380,7 @@ class _ShardRuntime:
         num_shards: int,
         channel: "_Channel",
         lookahead: float,
+        snapshot: Optional[dict] = None,
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
@@ -159,6 +396,25 @@ class _ShardRuntime:
         #: worker scenario once its network exists)
         self.network: Optional[PhysicalNetwork] = None
         self.windows = 0
+        #: directory mode: the control plane's startup overlay snapshot
+        #: (shared read-only; views restore by deep copy)
+        self.snapshot = snapshot
+        #: directory mode: control requests pending for the next barrier
+        self.control_requests: List[Tuple[str, float]] = []
+        #: directory mode: installed by the worker scenario — schedules the
+        #: barrier's served delta records at their exact virtual times
+        self.control_sink: Optional[Callable[[List[ControlRecord]], None]] = (
+            None
+        )
+
+    def request_control(self, kind: str, time: float) -> None:
+        """Queue a control request for the next window barrier."""
+        self.control_requests.append((kind, time))
+
+    def take_requests(self) -> List[Tuple[str, float]]:
+        out = self.control_requests
+        self.control_requests = []
+        return out
 
     def owns(self, address: int) -> bool:
         return address % self.num_shards == self.shard_id
@@ -231,6 +487,7 @@ class ShardSimulator(Simulator):
                 self.next_event_time(),
                 last_this_run,
                 executed,
+                runtime.take_requests(),
             )
             runtime.windows += 1
             if decision.error is not None:
@@ -239,6 +496,12 @@ class ShardSimulator(Simulator):
                     f"{decision.error}"
                 )
             self._inject(decision.inbox)
+            if decision.control:
+                # Directory mode: schedule the window's served control-plane
+                # deltas at their exact virtual times (before any break —
+                # records may reach past this run's `until`, exactly like
+                # the replicated kernels' still-queued churn events).
+                runtime.control_sink(decision.control)
             window_start = decision.window_start
             if (
                 max_events is not None
@@ -490,14 +753,30 @@ class ShardNetwork(PhysicalNetwork):
 
 
 class _ShardWorkerScenario(Scenario):
-    """One shard's replica of the scenario, wired to the shard runtime."""
+    """One shard's replica of the scenario, wired to the shard runtime.
+
+    Under ``control_plane="directory"`` the replica sheds its O(N) control
+    plane: the overlay is a *view* restored from the directory's startup
+    snapshot (no joins computed locally), churn is a
+    :class:`~repro.sim.churn.DirectoryChurnClient` forwarding start/stop
+    through the barrier, served delta records apply at their exact virtual
+    times, and per-peer state materializes only for owned peers.
+    """
 
     sharded = True
 
     def __init__(self, config: ScenarioConfig, runtime: _ShardRuntime) -> None:
         self._runtime = runtime
+        self.directory_mode = config.control_plane == "directory"
+        if self.directory_mode and runtime.snapshot is None:
+            raise ConfigurationError(
+                "directory-mode shard worker needs the control plane's "
+                "overlay snapshot"
+            )
         super().__init__(config)
         runtime.network = self.network
+        if self.directory_mode:
+            runtime.control_sink = self._schedule_control_records
 
     def _make_simulator(self) -> Simulator:
         return ShardSimulator(self.config.seed, self._runtime)
@@ -512,11 +791,53 @@ class _ShardWorkerScenario(Scenario):
             runtime=self._runtime,
         )
 
+    def _build_overlay(self):
+        if not self.directory_mode:
+            return super()._build_overlay()
+        # Directory-served view: restore the authoritative snapshot instead
+        # of computing N joins + finalization (entries_built stays 0).
+        overlay = self.config.build_overlay()
+        overlay.restore_state(self._runtime.snapshot)
+        return overlay
+
+    def _make_churn_driver(self):
+        if not self.directory_mode:
+            return super()._make_churn_driver()
+        return DirectoryChurnClient(
+            self.simulator, self.churn_model, self._runtime.request_control
+        )
+
+    def _schedule_control_records(
+        self, records: List[ControlRecord]
+    ) -> None:
+        """Schedule a window's served deltas at their exact virtual times.
+
+        Records arrive in the directory's emission order; equal-time records
+        keep that order through the kernel's tie-breaking sequence numbers.
+        Service traffic is accounted outside the golden fingerprint
+        (:meth:`StatsCollector.record_directory`).
+        """
+        edits = sum(
+            len(payload) for _, kind, payload in records
+            if kind == "maintenance"
+        )
+        self.stats.record_directory(
+            len(records), payload_size(records), edits=edits
+        )
+        self.simulator.schedule_batch_at(
+            [record[0] for record in records],
+            self._apply_control_record,
+            ((record,) for record in records),
+        )
+
     def owns(self, address: int) -> bool:
         return self._runtime.owns(address)
 
     def owns_control(self) -> bool:
         return self._runtime.shard_id == 0
+
+    def materializes(self, address: int) -> bool:
+        return not self.directory_mode or self._runtime.owns(address)
 
 
 # ---------------------------------------------------------------------------
@@ -533,6 +854,9 @@ class _Decision:
     global_last: float = -_INF
     total_executed: int = 0
     inbox: List[ExchangeRecord] = field(default_factory=list)
+    #: directory mode: this window's served control-plane delta records,
+    #: identical for every shard (application is ownership-gated)
+    control: List[ControlRecord] = field(default_factory=list)
     error: Optional[str] = None
 
 
@@ -545,6 +869,7 @@ class _Channel:
         next_time: float,
         last_time: float,
         executed: int,
+        requests: List[Tuple[str, float]],
     ) -> _Decision:
         raise NotImplementedError
 
@@ -559,6 +884,21 @@ def _sort_inbox(inbox: List[ExchangeRecord]) -> List[ExchangeRecord]:
     """Deterministic injection order: (deliver_at, src_shard, seq)."""
     inbox.sort(key=lambda record: (record[0], record[1], record[2]))
     return inbox
+
+
+def _agreed_requests(
+    all_requests: List[List[Tuple[str, float]]],
+) -> List[Tuple[str, float]]:
+    """The barrier's control requests, verified SPMD-identical per shard."""
+    first = all_requests[0]
+    for requests in all_requests[1:]:
+        if requests != first:
+            raise SimulationError(
+                "shard workers diverged: control requests differ across "
+                f"shards at one barrier ({all_requests!r}) — the SPMD "
+                "workload contract requires identical orchestration"
+            )
+    return first
 
 
 def _decide(
@@ -605,9 +945,15 @@ class _ThreadChannel(_Channel):
         self.to_coordinator = to_coordinator
         self.from_coordinator = from_coordinator
 
-    def sync(self, outbound, next_time, last_time, executed) -> _Decision:
+    def sync(
+        self, outbound, next_time, last_time, executed, requests
+    ) -> _Decision:
         self.to_coordinator.put(
-            (self.shard_id, "sync", (outbound, next_time, last_time, executed))
+            (
+                self.shard_id,
+                "sync",
+                (outbound, next_time, last_time, executed, requests),
+            )
         )
         return self.from_coordinator.get()
 
@@ -630,17 +976,20 @@ def _worker_body(
 
 def _run_serial(
     config: ScenarioConfig, workload: Workload, num_shards: int,
-    lookahead: float,
+    lookahead: float, plane: Optional[DirectoryControlPlane] = None,
 ) -> Tuple[List[tuple], int]:
     to_coordinator: "queue.Queue" = queue.Queue()
     from_coordinator = [queue.Queue() for _ in range(num_shards)]
+    snapshot = plane.snapshot if plane is not None else None
 
     def worker(shard_id: int) -> None:
         channel = _ThreadChannel(
             shard_id, to_coordinator, from_coordinator[shard_id]
         )
         try:
-            runtime = _ShardRuntime(shard_id, num_shards, channel, lookahead)
+            runtime = _ShardRuntime(
+                shard_id, num_shards, channel, lookahead, snapshot=snapshot
+            )
             channel.finish(_worker_body(config, workload, runtime))
         except BaseException:
             channel.fail(traceback.format_exc())
@@ -685,7 +1034,21 @@ def _run_serial(
                     from_coordinator[shard_id].put(_Decision(error=error))
             raise SimulationError(error)
         statuses = [round_messages[i][1] for i in range(num_shards)]
-        window_start, global_last, total_executed, inboxes = _decide(statuses)
+        window_start, global_last, total_executed, inboxes = _decide(
+            [status[:4] for status in statuses]
+        )
+        control: List[ControlRecord] = []
+        if plane is not None:
+            # The coordinator IS the directory: fold in the shards' control
+            # requests, let the timeline's next event open a window even
+            # when every worker heap is idle, and publish the window's
+            # deltas with the decision (one window ahead of execution).
+            plane.handle_requests(
+                _agreed_requests([status[4] for status in statuses])
+            )
+            window_start = min(window_start, plane.next_time())
+            if window_start != _INF:
+                control = plane.advance(window_start + lookahead)
         windows += 1
         for shard_id in range(num_shards):
             from_coordinator[shard_id].put(
@@ -694,6 +1057,7 @@ def _run_serial(
                     global_last=global_last,
                     total_executed=total_executed,
                     inbox=inboxes[shard_id],
+                    control=control,
                 )
             )
     for thread in threads:
@@ -727,7 +1091,9 @@ class _ProcessChannel(_Channel):
         self._barrier = 0
         self._stash: Dict[Tuple[int, int], List[ExchangeRecord]] = {}
 
-    def sync(self, outbound, next_time, last_time, executed) -> _Decision:
+    def sync(
+        self, outbound, next_time, last_time, executed, requests
+    ) -> _Decision:
         barrier = self._barrier
         self._barrier += 1
         counts = [len(box) for box in outbound]
@@ -739,12 +1105,16 @@ class _ProcessChannel(_Channel):
                 )
                 self.data_queues[dst_shard].put((self.shard_id, barrier, box))
         self.connection.send(
-            ("sync", (next_time, last_time, executed, counts, min_outbound))
+            (
+                "sync",
+                (next_time, last_time, executed, counts, min_outbound,
+                 requests),
+            )
         )
         kind, payload = self.connection.recv()
         if kind == "abort":
             return _Decision(error=payload)
-        window_start, global_last, total_executed, senders = payload
+        window_start, global_last, total_executed, senders, control = payload
         inbox: List[ExchangeRecord] = []
         expected = set(senders)
         for src_shard in list(expected):
@@ -772,6 +1142,7 @@ class _ProcessChannel(_Channel):
             global_last=global_last,
             total_executed=total_executed,
             inbox=_sort_inbox(inbox),
+            control=control,
         )
 
     def finish(self, payload: Any) -> None:
@@ -795,19 +1166,25 @@ def _mp_context():
 
 def _run_mp(
     config: ScenarioConfig, workload: Workload, num_shards: int,
-    lookahead: float,
+    lookahead: float, plane: Optional[DirectoryControlPlane] = None,
 ) -> Tuple[List[tuple], int]:
     context = _mp_context()
     data_queues = [context.Queue() for _ in range(num_shards)]
     parent_connections = []
     processes = []
+    # Directory mode: the plane (and its snapshot) is built in the parent
+    # BEFORE forking, so every worker inherits the snapshot through fork
+    # copy-on-write memory — snapshot distribution costs no pickling at all.
+    snapshot = plane.snapshot if plane is not None else None
 
     def child_main(shard_id: int, connection) -> None:
         channel = _ProcessChannel(
             shard_id, num_shards, connection, data_queues
         )
         try:
-            runtime = _ShardRuntime(shard_id, num_shards, channel, lookahead)
+            runtime = _ShardRuntime(
+                shard_id, num_shards, channel, lookahead, snapshot=snapshot
+            )
             channel.finish(_worker_body(config, workload, runtime))
         except BaseException:
             try:
@@ -862,19 +1239,26 @@ def _run_mp(
                     if kind == "sync":
                         parent_connections[shard_id].send(("abort", failure))
                 raise SimulationError(failure)
-            statuses = []
             all_counts = []
+            all_requests = []
             window_start = _INF
             global_last = -_INF
             total_executed = 0
             for shard_id in range(num_shards):
-                next_time, last_time, executed, counts, min_outbound = (
+                next_time, last_time, executed, counts, min_outbound, requests = (
                     round_messages[shard_id][1]
                 )
                 window_start = min(window_start, next_time, min_outbound)
                 global_last = max(global_last, last_time)
                 total_executed += executed
                 all_counts.append(counts)
+                all_requests.append(requests)
+            control: List[ControlRecord] = []
+            if plane is not None:
+                plane.handle_requests(_agreed_requests(all_requests))
+                window_start = min(window_start, plane.next_time())
+                if window_start != _INF:
+                    control = plane.advance(window_start + lookahead)
             windows += 1
             for shard_id in range(num_shards):
                 senders = [
@@ -885,7 +1269,8 @@ def _run_mp(
                 parent_connections[shard_id].send(
                     (
                         "decision",
-                        (window_start, global_last, total_executed, senders),
+                        (window_start, global_last, total_executed, senders,
+                         control),
                     )
                 )
     finally:
@@ -922,6 +1307,14 @@ class ShardedRun:
     #: skipping this is bounded by the number of event clusters, not the
     #: virtual duration / lookahead)
     windows: int
+    #: "replicated" (PR 4 SPMD control plane) or "directory"
+    control_plane: str = "replicated"
+    #: directory mode: delta records / route-table edits the control plane
+    #: published, and their modelled service bytes (snapshot included) —
+    #: diagnostics, never part of the digest
+    control_records: int = 0
+    control_edits: int = 0
+    control_bytes: int = 0
 
     def digest(self) -> str:
         """Golden-suite-comparable digest (fingerprint + final clock)."""
@@ -961,8 +1354,14 @@ class ShardedScenario:
 
     def run(self, workload: Workload) -> ShardedRun:
         runner = _run_serial if self.executor == "serial" else _run_mp
+        plane = (
+            DirectoryControlPlane(self.config)
+            if self.config.control_plane == "directory"
+            else None
+        )
         payloads, windows = runner(
-            self.config, workload, self.config.shards, self.lookahead
+            self.config, workload, self.config.shards, self.lookahead,
+            plane=plane,
         )
         merged = StatsCollector()
         now = -_INF
@@ -979,6 +1378,12 @@ class ShardedScenario:
             executor=self.executor,
             lookahead=self.lookahead,
             windows=windows,
+            control_plane=self.config.control_plane,
+            control_records=plane.records_emitted if plane else 0,
+            control_edits=plane.edits_emitted if plane else 0,
+            control_bytes=(
+                plane.snapshot_bytes + plane.record_bytes if plane else 0
+            ),
         )
 
 

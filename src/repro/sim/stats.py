@@ -66,6 +66,15 @@ class StatsCollector:
         self.per_peer_bytes: Counter = Counter()
         self.per_peer_wire_bytes: Counter = Counter()
         self.per_peer_received: Counter = Counter()
+        #: directory control-plane service traffic (snapshot/delta records a
+        #: shard worker received and applied).  Deliberately a separate
+        #: counter family, NOT ``counters``: directory traffic is an
+        #: artifact of the execution shape (it scales with K and vanishes at
+        #: K=1), while :meth:`fingerprint` — and therefore every golden
+        #: digest — pins workload observables that must be identical across
+        #: kernel shapes.  Merged by :meth:`merge`, reported via
+        #: :meth:`directory_summary`, never fingerprinted.
+        self.directory: Counter = Counter()
         self.log = ActivityLog()
         #: True once any recorded message's wire size diverged from its raw
         #: size (i.e. a non-identity codec touched this collector).  Gates
@@ -183,6 +192,20 @@ class StatsCollector:
     def messages_for(self, *msg_types: str) -> int:
         return sum(self.messages_by_type.get(t, 0) for t in msg_types)
 
+    # -- directory control-plane accounting --------------------------------
+
+    def record_directory(
+        self, records: int, size_bytes: int, edits: int = 0
+    ) -> None:
+        """Account served control-plane traffic (outside the fingerprint)."""
+        self.directory["control_records"] += records
+        self.directory["control_bytes"] += size_bytes
+        self.directory["control_edits"] += edits
+
+    def directory_summary(self) -> Dict[str, int]:
+        """The directory service counters (diagnostics; K-dependent)."""
+        return dict(sorted(self.directory.items()))
+
     # -- counters & series -------------------------------------------------------
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -203,7 +226,10 @@ class StatsCollector:
         checked against this structure: message/byte/hop counts by type,
         per-peer sent/received bytes, and named counters.  Time series and
         the activity log are excluded (they carry floats and free-form text,
-        not accounting).  Keys are stringified so the snapshot serializes to
+        not accounting), and so are the :attr:`directory` counters — control
+        plane service traffic scales with the shard count, while the
+        fingerprint pins observables that must be identical across every
+        kernel shape.  Keys are stringified so the snapshot serializes to
         canonical JSON.
 
         The wire-byte counters appear only once compressed traffic exists:
@@ -284,6 +310,7 @@ class StatsCollector:
         self.wire_bytes_by_type.update(other.wire_bytes_by_type)
         self.hops_by_type.update(other.hops_by_type)
         self.counters.update(other.counters)
+        self.directory.update(other.directory)
         self.per_peer_bytes.update(other.per_peer_bytes)
         self.per_peer_wire_bytes.update(other.per_peer_wire_bytes)
         self.per_peer_received.update(other.per_peer_received)

@@ -100,6 +100,7 @@ def _build_large_peer_data():
 def build_scenario_config(
     overlay: str, variant: str, seed: int = 0, num_peers: int = NUM_PEERS,
     codec: str = "identity", rng_mode: str = "stream", shards: int = 0,
+    control_plane: str = "replicated",
 ) -> ScenarioConfig:
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
@@ -115,6 +116,7 @@ def build_scenario_config(
         rng_mode=rng_mode,
         jitter_floor=SHARD_JITTER_FLOOR if rng_mode == "perpeer" else 0.0,
         shards=shards,
+        control_plane=control_plane,
         seed=seed,
     )
 
@@ -247,15 +249,20 @@ def run_training_perpeer(
 def run_training_sharded(
     protocol: str, overlay: str, variant: str, shards: int,
     executor: str = "serial", codec: str = "identity",
-    num_peers: int = NUM_PEERS,
+    num_peers: int = NUM_PEERS, control_plane: str = "replicated",
 ):
     """Train one combo through the K-shard kernel; returns the
-    :class:`repro.sim.shard.ShardedRun` (merged stats + agreed clock)."""
+    :class:`repro.sim.shard.ShardedRun` (merged stats + agreed clock).
+
+    ``control_plane="directory"`` replays the same training with the
+    directory-served control plane (overlay snapshot + per-window deltas)
+    instead of SPMD replication — the digest must not change.
+    """
     from repro.sim.shard import ShardedScenario
 
     config = build_scenario_config(
         overlay, variant, num_peers=num_peers, codec=codec,
-        rng_mode="perpeer", shards=shards,
+        rng_mode="perpeer", shards=shards, control_plane=control_plane,
     )
     return ShardedScenario(config, executor=executor).run(
         training_workload(protocol, variant, codec)

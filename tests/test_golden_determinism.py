@@ -222,6 +222,26 @@ def test_sharded_goldens_are_shard_count_invariant_and_match_unsharded(
     )
 
 
+@pytest.mark.parametrize("variant", SHARDED_VARIANTS)
+@pytest.mark.parametrize("protocol", SHARDED_PROTOCOLS)
+@pytest.mark.parametrize("overlay", SHARDED_OVERLAYS)
+def test_directory_mode_matches_sharded_goldens(overlay, protocol, variant):
+    """The directory-mode smoke: replacing SPMD control-plane replication
+    with the directory service (snapshot + per-window deltas) must leave
+    every checked-in sharded golden digest untouched — one writer and K
+    readers produce the same observable stream as K replicated writers."""
+    goldens = load_goldens(SHARDED_GOLDEN_PATH)
+    key = sharded_combo_key(overlay, protocol, variant, SHARDED_COUNTS[0])
+    run = run_training_sharded(
+        protocol, overlay, variant, SHARDED_COUNTS[0],
+        control_plane="directory",
+    )
+    assert run.digest() == goldens[key], (
+        f"directory control plane diverged from the sharded golden on "
+        f"{key}. The delta protocol changed an observable. {REGEN_HINT}"
+    )
+
+
 def test_sharded_golden_file_has_no_stale_entries():
     goldens = load_goldens(SHARDED_GOLDEN_PATH)
     expected = {

@@ -43,23 +43,30 @@ FUZZ_SEED = 0x5A4D
 CODECS = ("identity", "tuned", "gzip-model")
 SHARD_COUNTS = (1, 2, 3, 4)
 
+#: the directory-control-plane leg: fewer combos (the serial replicated leg
+#: already pins the window machinery), but shard counts reach past the peer
+#: population — K ∈ {8, 16} > N = 5 exercises zero-owned-peer workers.
+DIRECTORY_FUZZ_CASES = 18
+DIRECTORY_SHARD_COUNTS = (1, 2, 4, 8, 16)
+
 #: tier-1 runs this many mp-vs-serial cases; nightly runs the full matrix
 MP_SUBSET = 6
+DIRECTORY_MP_SUBSET = 3
 MP_FULL_ENV = "REPRO_SHARD_MP_FULL"
 
 
-def _sample_cases():
-    """~50 distinct fixed-seed combos over the full configuration space."""
-    rng = random.Random(FUZZ_SEED)
+def _sample_cases(count=FUZZ_CASES, shard_counts=SHARD_COUNTS, salt=0):
+    """``count`` distinct fixed-seed combos over the full config space."""
+    rng = random.Random(FUZZ_SEED + salt)
     seen = set()
     cases = []
-    while len(cases) < FUZZ_CASES:
+    while len(cases) < count:
         case = (
             rng.choice(OVERLAYS),
             rng.choice(PROTOCOLS),
             rng.choice(VARIANTS),
             rng.choice(CODECS),
-            rng.choice(SHARD_COUNTS),
+            rng.choice(shard_counts),
         )
         if case in seen:
             continue
@@ -69,6 +76,11 @@ def _sample_cases():
 
 
 CASES = _sample_cases()
+DIRECTORY_CASES = _sample_cases(
+    count=DIRECTORY_FUZZ_CASES,
+    shard_counts=DIRECTORY_SHARD_COUNTS,
+    salt=0xD1,
+)
 
 
 def _case_id(case):
@@ -141,6 +153,105 @@ def test_fuzz_matrix_covers_every_axis():
     assert variants == set(VARIANTS)
     assert codecs == set(CODECS)
     assert counts == set(SHARD_COUNTS)
+
+
+# ---------------------------------------------------------------------------
+# Directory control plane: the same byte-identity contract with the SPMD
+# replication replaced by one authoritative control plane serving overlay
+# snapshots + per-window deltas — including K > N (zero-owned-peer workers).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", DIRECTORY_CASES, ids=_case_id)
+def test_directory_serial_matches_unsharded_kernel(case):
+    """Directory-served sharded runs are byte-identical to the single heap."""
+    overlay, protocol, variant, codec, shards = case
+    reference = _reference_digest(protocol, overlay, variant, codec)
+    run = run_training_sharded(
+        protocol, overlay, variant, shards, executor="serial", codec=codec,
+        control_plane="directory",
+    )
+    assert run.digest() == reference, (
+        f"K={shards} directory-mode run diverged from the unsharded kernel "
+        f"on {_case_id(case)}"
+    )
+
+
+def _directory_mp_cases():
+    cases = [c for c in DIRECTORY_CASES if c[4] >= 2]
+    if os.environ.get(MP_FULL_ENV, "") not in ("", "0"):
+        return cases
+    return cases[:DIRECTORY_MP_SUBSET]
+
+
+@pytest.mark.parametrize("case", _directory_mp_cases(), ids=_case_id)
+def test_directory_mp_matches_serial(case):
+    """The mp executor reproduces the serial directory reference (control
+    deltas ride pipes; the snapshot rides fork memory)."""
+    try:
+        import multiprocessing
+
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        pytest.skip("mp executor requires the fork start method")
+    overlay, protocol, variant, codec, shards = case
+    serial = run_training_sharded(
+        protocol, overlay, variant, shards, executor="serial", codec=codec,
+        control_plane="directory",
+    )
+    parallel = run_training_sharded(
+        protocol, overlay, variant, shards, executor="mp", codec=codec,
+        control_plane="directory",
+    )
+    assert parallel.digest() == serial.digest(), (
+        f"directory mp executor diverged from serial on {_case_id(case)}"
+    )
+    assert parallel.now == serial.now
+
+
+def test_directory_fuzz_covers_high_shard_counts():
+    counts = {c[4] for c in DIRECTORY_CASES}
+    assert counts == set(DIRECTORY_SHARD_COUNTS)
+    assert {8, 16} <= counts  # the K > N (zero-owned-peer) regime
+
+
+def test_zero_owned_peer_shards_merge_to_the_unsharded_digest():
+    """K=8 workers over N=5 peers: shards 5..7 own nothing (and under churn
+    the active population drops further).  Their collectors contribute
+    nothing but per-shard control bookkeeping, and the merged observables
+    still equal the unsharded kernel byte for byte."""
+    from repro.sim.shard import ShardedScenario
+    from tests.determinism_fixtures import (
+        build_classifier,
+        build_scenario_config,
+    )
+
+    per_shard = []
+
+    def workload(scenario):
+        scenario.start_churn()
+        classifier = build_classifier("nbagg", scenario)
+        classifier.train()
+        return (
+            scenario.construction_cost(),
+            scenario.stats.fingerprint_bytes(),
+        )
+
+    config = build_scenario_config(
+        "chord", "churn", rng_mode="perpeer", shards=8,
+        control_plane="directory",
+    )
+    run = ShardedScenario(config, executor="serial").run(workload)
+    reference = _reference_digest("nbagg", "chord", "churn", "identity")
+    assert run.digest() == reference
+    per_shard = [cost for cost, _ in run.results]
+    materialized = [cost["peers_materialized"] for cost in per_shard]
+    # 5 peers across 8 shards: shard i owns peer i for i < 5, nothing after.
+    assert materialized == [1, 1, 1, 1, 1, 0, 0, 0]
+    # Directory views never compute routing entries at construction; the
+    # only entries built locally are the replicated churn-join ops.
+    for cost in per_shard:
+        assert cost["overlay_entries_built"] < 200
 
 
 # ---------------------------------------------------------------------------
