@@ -57,12 +57,17 @@ def write_bench_trajectory(
     run, so a future PR's regression shows up as a reviewable diff and CI
     uploads the fresh copy as an artifact.
     """
+    import numpy
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     payload = {
         "benchmark": name,
         "context": {
             "cpus": cpu_count(),
             "python": "%d.%d" % sys.version_info[:2],
+            # the columnar exchange path's hot loops are numpy kernels, so
+            # trajectory diffs need the version the numbers were taken on
+            "numpy": numpy.__version__,
             **(context or {}),
         },
         "entries": list(entries),

@@ -490,7 +490,7 @@ def _sharded_storm_config(num_nodes, shards, seed=3,
 def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
                       control_plane="replicated"):
     """One sharded storm run; returns (elapsed, digest, delivered, windows,
-    max-per-worker construction cost)."""
+    max-per-worker construction cost, exchange summary)."""
     from repro.sim.shard import ShardedScenario
 
     workload = _storm_workload(num_nodes, rounds, fanout)
@@ -505,7 +505,10 @@ def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
         key: max(result[1][key] for result in run.results)
         for key in run.results[0][1]
     }
-    return elapsed, run.digest(), delivered, run.windows, cost
+    return (
+        elapsed, run.digest(), delivered, run.windows, cost,
+        run.stats.exchange_summary(),
+    )
 
 
 def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
@@ -524,6 +527,7 @@ def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
         delivered,
         0,
         cost,
+        {},
     )
 
 
@@ -562,7 +566,7 @@ def run_sharded_storm_rows():
             )
 
         # Best of `repeats`: a warmup-and-measure pair keeps ratios stable.
-        elapsed, digest, delivered, windows, cost = min(
+        elapsed, digest, delivered, windows, cost, exchange = min(
             (run_once() for _ in range(repeats)), key=lambda r: r[0]
         )
         messages = nodes * rounds * fanout
@@ -575,6 +579,8 @@ def run_sharded_storm_rows():
                 windows,
                 cost["peers_materialized"],
                 cost["overlay_entries_built"],
+                exchange.get("records", 0),
+                exchange.get("encoded_bytes", 0) // 1024,
                 round(elapsed, 3),
                 int(messages / max(elapsed, 1e-9)),
                 digest[:16],
@@ -592,6 +598,11 @@ def run_sharded_storm_rows():
                 "peak_rss_mb": peak_rss_mb(children=(executor == "mp")),
                 "peers_materialized_max": cost["peers_materialized"],
                 "overlay_entries_built_max": cost["overlay_entries_built"],
+                "exchange_records": exchange.get("records", 0),
+                "exchange_encoded_bytes": exchange.get("encoded_bytes", 0),
+                "exchange_queue_fallbacks": exchange.get(
+                    "queue_fallbacks", 0
+                ),
                 "stats_digest": digest[:16],
             }
         )
@@ -611,14 +622,15 @@ def test_e3_sharded_storm(benchmark):
     rows = benchmark.pedantic(run_sharded_storm_rows, rounds=1, iterations=1)
     headers = [
         "nodes", "kernel", "messages", "delivered", "windows", "peers_mat",
-        "ovl_built", "seconds", "msgs/sec", "stats_digest",
+        "ovl_built", "xch_recs", "xch_kb", "seconds", "msgs/sec",
+        "stats_digest",
     ]
     table = format_table(
         f"E3e  Sharded storm at {SHARDED_STORM_NODES} nodes "
         f"({SHARDED_STORM_NODES * SHARDED_STORM_ROUNDS * SHARDED_STORM_FANOUT}"
         f" messages; K={SHARDED_STORM_SHARDS} replicated, "
         f"K∈{DIRECTORY_STORM_SHARDS} directory; peers_mat/ovl_built are "
-        "max per worker)",
+        "max per worker, xch_* the SoA exchange volume)",
         headers,
         rows,
     )
@@ -629,10 +641,36 @@ def test_e3_sharded_storm(benchmark):
     # The sharding theorem at bench scale: every kernel shape — replicated
     # or directory-served — produces byte-identical stats digests and full
     # delivery.
-    digests = {row[9] for row in rows}
+    digests = {row[11] for row in rows}
     assert len(digests) == 1, f"kernel shapes diverged: {rows}"
     for row in rows:
         assert row[3] == expected
+    # Digest lineage: the storm's stats digest is pinned against the
+    # checked-in baseline (the dd230f743b050a6e full-size lineage and its
+    # smoke-size companion) so an exchange-path change that silently
+    # alters observables fails CI here, not in a later golden refresh.
+    # Smoke runs check their own pinned digest and never touch the
+    # full-size BENCH baseline.
+    import json as _json
+    from pathlib import Path
+
+    baseline = _json.loads(
+        (Path(__file__).parent / "results" / "e3_smoke_digest.json")
+        .read_text()
+    )
+    expected_digest = (
+        baseline["smoke_digest"] if _SMOKE else baseline["full_digest"]
+    )
+    assert digests == {expected_digest}, (
+        f"storm stats digest {digests} departed from the checked-in "
+        f"{'smoke' if _SMOKE else 'full'} baseline {expected_digest}; if "
+        "the change is intentional, refresh "
+        "benchmarks/results/e3_smoke_digest.json"
+    )
+    # Cross-shard exchange actually flowed on every sharded row.
+    for row in rows:
+        if row[1] != "unsharded":
+            assert row[7] > 0, f"no exchange records on {row[1]}"
 
     by_label = {row[1]: row for row in rows}
     # The O(N/K) construction contract, asserted numerically: replicated
@@ -650,7 +688,7 @@ def test_e3_sharded_storm(benchmark):
 
     serial_row = by_label[f"serial k{SHARDED_STORM_SHARDS}"]
     mp_row = by_label[f"mp k{SHARDED_STORM_SHARDS}"]
-    speedup = serial_row[7] / max(mp_row[7], 1e-9)
+    speedup = serial_row[9] / max(mp_row[9], 1e-9)
     if not _SMOKE and _cpus() >= 4:
         # PR 4's bar: >= 1.5x over the lockstep serial reference with
         # >= 4 workers on >= 4 cores.  (On smaller runners the mp row still
@@ -660,8 +698,8 @@ def test_e3_sharded_storm(benchmark):
         # The directory-mode scale-out bar: >= 2.5x mp-vs-serial at K=8 on
         # >= 8 cores, now that workers no longer pay O(N) control plane.
         dir_speedup = (
-            by_label["serial k8 dir"][7]
-            / max(by_label["mp k8 dir"][7], 1e-9)
+            by_label["serial k8 dir"][9]
+            / max(by_label["mp k8 dir"][9], 1e-9)
         )
         assert dir_speedup >= 2.5, (
             f"directory storm speedup {dir_speedup:.2f}x < 2.5x at K=8"

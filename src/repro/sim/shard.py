@@ -13,9 +13,11 @@ be affected by a message sent in the same window by another shard.
 **The cut point is the transport stack's network layer**
 (:class:`ShardNetwork`): a send whose destination lives on another shard is
 not scheduled locally — its full delivery (time, payload, sizes) is computed
-at send time from the source peer's own random streams, serialized into a
-per-window exchange queue, and injected into the destination shard's heap at
-the window barrier, ordered by ``(deliver_time, src_shard, seq)``.
+at send time from the source peer's own random streams, accumulated in a
+per-window exchange outbox, columnarized into a struct-of-arrays
+:class:`~repro.sim.exchange.ExchangeFrame` at the barrier, and injected into
+the destination shard's heap ordered by ``(deliver_time, src_shard, seq)``
+(one ``numpy.lexsort`` + one :meth:`Simulator.schedule_block`).
 Intra-shard traffic never leaves its heap.
 
 **Why this reproduces the single-heap kernel bit-for-bit.**  Three design
@@ -40,10 +42,14 @@ same scenario:
 Two executors run the same shard-worker code:
 
 - ``serial`` — the deterministic reference: worker replicas run as lockstep
-  threads in one process, the coordinator routes exchange queues in memory.
+  threads in one process, the coordinator routes exchange frames in memory.
 - ``mp`` — one forked worker process per shard; control messages flow over
-  pipes, exchange records over per-shard queues, and the per-worker stats
-  are merged in the parent via :meth:`StatsCollector.merge`.
+  pipes, encoded exchange frames over shared-memory rings
+  (:class:`~repro.sim.exchange.RingExchange` — zero per-record pickling;
+  oversized frames fall back to per-shard queues), and the per-worker stats
+  are merged in the parent via :meth:`StatsCollector.merge`.  Set
+  ``REPRO_SCALAR_EXCHANGE=1`` to pin the legacy per-record tuple/pickle
+  queue path (the reference the equivalence fuzz compares against).
 
 Both produce byte-identical fingerprints to each other and to the unsharded
 kernel; ``tests/test_shard_equivalence.py`` fuzzes that claim across
@@ -88,6 +94,7 @@ import os
 import queue
 import threading
 import traceback
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -96,6 +103,13 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.churn import DirectoryChurnClient
 from repro.sim.engine import Simulator
+from repro.sim.exchange import (
+    ExchangeFrame,
+    RingExchange,
+    exchange_timeout_seconds,
+    merge_frames,
+    scalar_exchange_enabled,
+)
 from repro.sim.messages import Message, payload_size
 from repro.sim.network import LatencyModel, PeerStreams, PhysicalNetwork
 from repro.sim.scenario import Scenario, ScenarioConfig
@@ -105,8 +119,18 @@ _INF = float("inf")
 
 #: exchange record layout — a cross-shard delivery computed at send time:
 #: (deliver_at, src_shard, seq, src, dst, msg_type, payload, size_bytes,
-#:  wire_bytes, hops).  Plain tuples: cheap to pickle 100k+ of them per
-#: storm through the mp executor's queues.
+#:  wire_bytes, hops).  This tuple shape is the *outbox accumulator and
+#: reference wire format*, not the hot path: at each window barrier the
+#: per-destination outbox is columnarized into a struct-of-arrays
+#: :class:`~repro.sim.exchange.ExchangeFrame` (numeric numpy columns, an
+#: interned msg_type id table, and a pickle sidecar only for records whose
+#: payload is a real object) that serial executors pass through memory and
+#: the mp executor ships as one encoded blob through shared-memory rings —
+#: zero per-record pickling.  Tuples still travel whole-window over the mp
+#: queues in exactly two cases: ``REPRO_SCALAR_EXCHANGE=1`` pins this
+#: legacy path as the differential-fuzz reference, and a frame too large
+#: for its ring falls back to a single queue put of the encoded blob
+#: (counted in ``StatsCollector.exchange["queue_fallbacks"]``).
 ExchangeRecord = Tuple[float, int, int, int, int, str, Any, int, int, int]
 
 #: directory delta record layout — one control-plane observable, serialized
@@ -551,10 +575,16 @@ class ShardSimulator(Simulator):
             )
         return executed
 
-    def _inject(self, records: Sequence[ExchangeRecord]) -> None:
+    def _inject(self, records: Sequence[Any]) -> None:
         """Schedule received cross-shard deliveries at their exact times.
 
-        Records arrive sorted by ``(deliver_at, src_shard, seq)``; the
+        The inbox is either a list of :class:`ExchangeFrame` (the default
+        SoA path: one frame per sender shard, merged and ordered by
+        ``(deliver_time, src_shard, seq)`` with one ``np.lexsort`` and
+        bulk-scheduled through the array-native
+        :meth:`Simulator.schedule_block` — no per-event tuple/handle
+        allocation) or a pre-sorted list of :data:`ExchangeRecord` tuples
+        (the ``REPRO_SCALAR_EXCHANGE=1`` reference path).  Either way the
         kernel's own past-time validation doubles as the conservative-
         window guard (a record behind the local clock means the lookahead
         contract was violated and raises loudly).
@@ -562,6 +592,10 @@ class ShardSimulator(Simulator):
         if not records:
             return
         network = self._runtime.network
+        if isinstance(records[0], ExchangeFrame):
+            times, columns = merge_frames(records)
+            self.schedule_block(times, network._deliver_lazy, columns)
+            return
         self.schedule_batch_at(
             [record[0] for record in records],
             network._deliver_lazy,
@@ -853,7 +887,9 @@ class _Decision:
     window_start: float = _INF
     global_last: float = -_INF
     total_executed: int = 0
-    inbox: List[ExchangeRecord] = field(default_factory=list)
+    #: SoA path: ``ExchangeFrame`` per sender shard (src-shard order);
+    #: scalar path: pre-sorted ``ExchangeRecord`` tuples
+    inbox: List[Any] = field(default_factory=list)
     #: directory mode: this window's served control-plane delta records,
     #: identical for every shard (application is ownership-gated)
     control: List[ControlRecord] = field(default_factory=list)
@@ -861,7 +897,17 @@ class _Decision:
 
 
 class _Channel:
-    """Worker-side endpoint of the barrier protocol."""
+    """Worker-side endpoint of the barrier protocol.
+
+    Channels own the window-local exchange accounting
+    (:attr:`exchange` — frames/records/bytes counters, the
+    ``StatsCollector.exchange`` families) because columnarization and
+    shipping happen inside :meth:`sync`; :func:`_worker_body` folds the
+    counter into the worker's stats once the workload finishes.
+    """
+
+    def __init__(self) -> None:
+        self.exchange: Counter = Counter()
 
     def sync(
         self,
@@ -878,6 +924,21 @@ class _Channel:
 
     def fail(self, message: str) -> None:
         raise NotImplementedError
+
+    def _frames_from_outbound(
+        self, outbound: List[List[ExchangeRecord]]
+    ) -> List[Optional[ExchangeFrame]]:
+        """Columnarize one window's outboxes (None for empty ones)."""
+        frames: List[Optional[ExchangeFrame]] = [None] * len(outbound)
+        exchange = self.exchange
+        for dst_shard, box in enumerate(outbound):
+            if box:
+                frame = ExchangeFrame.from_records(box)
+                frames[dst_shard] = frame
+                exchange["frames"] += 1
+                exchange["records"] += frame.count
+                exchange["pickled_records"] += frame.payload_count
+        return frames
 
 
 def _sort_inbox(inbox: List[ExchangeRecord]) -> List[ExchangeRecord]:
@@ -929,6 +990,29 @@ def _decide(
     return window_start, global_last, total_executed, inboxes
 
 
+def _decide_frames(
+    statuses: List[Tuple[List[Optional[ExchangeFrame]], float, float, int]],
+) -> Tuple[float, float, int, List[List[ExchangeFrame]]]:
+    """:func:`_decide` for the SoA path: outboxes arrive pre-columnarized
+    (one frame or None per destination), so routing is pure pointer moves —
+    per-shard inboxes collect frames in src-shard order and the cross-frame
+    sort happens once, receiver-side, in :func:`merge_frames`."""
+    num_shards = len(statuses)
+    inboxes: List[List[ExchangeFrame]] = [[] for _ in range(num_shards)]
+    window_start = _INF
+    global_last = -_INF
+    total_executed = 0
+    for frames, next_time, last_time, executed in statuses:
+        window_start = min(window_start, next_time)
+        global_last = max(global_last, last_time)
+        total_executed += executed
+        for dst_shard, frame in enumerate(frames):
+            if frame is not None:
+                inboxes[dst_shard].append(frame)
+                window_start = min(window_start, frame.min_time)
+    return window_start, global_last, total_executed, inboxes
+
+
 # ---------------------------------------------------------------------------
 # Serial executor: lockstep worker threads, in-memory exchange.
 # ---------------------------------------------------------------------------
@@ -940,14 +1024,22 @@ class _ThreadChannel(_Channel):
         shard_id: int,
         to_coordinator: "queue.Queue",
         from_coordinator: "queue.Queue",
+        use_frames: bool = True,
     ) -> None:
+        super().__init__()
         self.shard_id = shard_id
         self.to_coordinator = to_coordinator
         self.from_coordinator = from_coordinator
+        self.use_frames = use_frames
 
     def sync(
         self, outbound, next_time, last_time, executed, requests
     ) -> _Decision:
+        if self.use_frames:
+            # Columnarize worker-side (in parallel across threads); frames
+            # cross to the coordinator by reference — nothing is copied or
+            # encoded on the serial executor.
+            outbound = self._frames_from_outbound(outbound)
         self.to_coordinator.put(
             (
                 self.shard_id,
@@ -971,12 +1063,18 @@ def _worker_body(
 ) -> Any:
     scenario = _ShardWorkerScenario(config, runtime)
     result = workload(scenario)
+    # Fold the channel's exchange accounting (frames shipped, records,
+    # encoded bytes, fallbacks) into the worker's collector; merged
+    # parent-side like the directory counters, never fingerprinted.
+    if runtime.channel.exchange:
+        scenario.stats.exchange.update(runtime.channel.exchange)
     return (scenario.stats, scenario.simulator.now, result)
 
 
 def _run_serial(
     config: ScenarioConfig, workload: Workload, num_shards: int,
     lookahead: float, plane: Optional[DirectoryControlPlane] = None,
+    use_frames: bool = True,
 ) -> Tuple[List[tuple], int]:
     to_coordinator: "queue.Queue" = queue.Queue()
     from_coordinator = [queue.Queue() for _ in range(num_shards)]
@@ -984,7 +1082,8 @@ def _run_serial(
 
     def worker(shard_id: int) -> None:
         channel = _ThreadChannel(
-            shard_id, to_coordinator, from_coordinator[shard_id]
+            shard_id, to_coordinator, from_coordinator[shard_id],
+            use_frames=use_frames,
         )
         try:
             runtime = _ShardRuntime(
@@ -1034,7 +1133,8 @@ def _run_serial(
                     from_coordinator[shard_id].put(_Decision(error=error))
             raise SimulationError(error)
         statuses = [round_messages[i][1] for i in range(num_shards)]
-        window_start, global_last, total_executed, inboxes = _decide(
+        decide = _decide_frames if use_frames else _decide
+        window_start, global_last, total_executed, inboxes = decide(
             [status[:4] for status in statuses]
         )
         control: List[ControlRecord] = []
@@ -1070,44 +1170,153 @@ def _run_serial(
 # ---------------------------------------------------------------------------
 
 
+#: how a window frame travels to its receiver (per destination shard):
+#: nothing sent / shared-memory ring / queue (scalar path, or a frame too
+#: large for its ring)
+_VIA_NONE, _VIA_RING, _VIA_QUEUE = 0, 1, 2
+
+
 class _ProcessChannel(_Channel):
     """Worker endpoint: control over a pipe to the parent coordinator, bulk
-    exchange records over per-destination-shard queues (peer to peer — the
-    parent never relays payload bytes, only counts and window decisions).
+    exchange frames through shared-memory rings (peer to peer — the parent
+    never relays payload bytes, only counts, via codes, and window
+    decisions).
 
-    Exchange batches are tagged with their barrier index: queue puts are
-    flushed by a background feeder thread, so a fast shard's barrier-``n+1``
-    batch can reach a receiver before a slow shard's barrier-``n`` batch.
-    Early arrivals are stashed until their barrier comes up (a sender can
-    run at most one barrier ahead — the coordinator withholds the next
-    decision until every shard has synced — so the stash stays tiny).
+    The SoA default encodes each destination's outbox into one
+    length-prefixed :class:`ExchangeFrame` blob and publishes it on the
+    ``(src, dst)`` :class:`ShardRing` — zero per-record pickling, and no
+    feeder threads or fds involved.  The sender can run at most one barrier
+    ahead (the coordinator withholds the next decision until every shard
+    has synced), so ring occupancy is bounded by two windows of traffic;
+    a frame that still does not fit is **never** waited on — a writer
+    blocking inside the barrier handshake would deadlock the fleet — and
+    falls back to one queue put of the same blob, flagged ``_VIA_QUEUE`` in
+    the sync so the receiver knows where to look.
+
+    Queue batches (fallbacks, and the whole ``REPRO_SCALAR_EXCHANGE=1``
+    path) are tagged with their barrier index: queue puts are flushed by a
+    background feeder thread, so a fast shard's barrier-``n+1`` batch can
+    reach a receiver before a slow shard's barrier-``n`` batch.  Early
+    arrivals are stashed until their barrier comes up.  Ring frames need no
+    stash: each ring is SPSC FIFO, so per sender they surface in barrier
+    order, and the barrier tag in the frame header is verified on decode.
+    All receive waits carry the ``REPRO_EXCHANGE_TIMEOUT_S`` deadline — a
+    sender that died mid-window surfaces as a loud error, never a hang.
     """
 
-    def __init__(self, shard_id, num_shards, connection, data_queues) -> None:
+    def __init__(
+        self, shard_id, num_shards, connection, data_queues,
+        rings: Optional[RingExchange] = None, use_frames: bool = True,
+    ) -> None:
+        super().__init__()
         self.shard_id = shard_id
         self.num_shards = num_shards
         self.connection = connection
         self.data_queues = data_queues
+        self.rings = rings
+        self.use_frames = use_frames
+        self.timeout = exchange_timeout_seconds()
         self._barrier = 0
-        self._stash: Dict[Tuple[int, int], List[ExchangeRecord]] = {}
+        #: early queue batches keyed by (barrier, src_shard); values are
+        #: encoded frame blobs (SoA fallback) or record lists (scalar path)
+        self._stash: Dict[Tuple[int, int], Any] = {}
+
+    # -- send side ----------------------------------------------------------
+
+    def _ship(self, outbound, barrier) -> Tuple[List[int], List[int], float]:
+        """Encode and publish one window's outboxes; returns per-dst record
+        counts, via codes, and the minimum outbound delivery time."""
+        counts = [len(box) for box in outbound]
+        vias = [_VIA_NONE] * self.num_shards
+        min_outbound = _INF
+        exchange = self.exchange
+        for dst_shard, box in enumerate(outbound):
+            if not box:
+                continue
+            if self.use_frames:
+                frame = ExchangeFrame.from_records(box)
+                min_outbound = min(min_outbound, frame.min_time)
+                blob = frame.encode(barrier)
+                exchange["frames"] += 1
+                exchange["records"] += frame.count
+                exchange["encoded_bytes"] += len(blob)
+                exchange["pickled_records"] += frame.payload_count
+                ring = (
+                    self.rings.ring(self.shard_id, dst_shard)
+                    if self.rings is not None
+                    else None
+                )
+                if ring is not None and ring.try_push(blob):
+                    vias[dst_shard] = _VIA_RING
+                else:
+                    exchange["queue_fallbacks"] += 1
+                    vias[dst_shard] = _VIA_QUEUE
+                    self.data_queues[dst_shard].put(
+                        (self.shard_id, barrier, blob)
+                    )
+            else:
+                min_outbound = min(
+                    min_outbound, min(record[0] for record in box)
+                )
+                vias[dst_shard] = _VIA_QUEUE
+                self.data_queues[dst_shard].put((self.shard_id, barrier, box))
+        return counts, vias, min_outbound
+
+    # -- receive side -------------------------------------------------------
+
+    def _collect_queue(self, barrier: int, expected: set) -> Dict[int, Any]:
+        """Drain the shard's queue until every expected sender's batch for
+        this barrier has arrived (stashing early ones)."""
+        batches: Dict[int, Any] = {}
+        for src_shard in list(expected):
+            stashed = self._stash.pop((barrier, src_shard), None)
+            if stashed is not None:
+                batches[src_shard] = stashed
+                expected.discard(src_shard)
+        while expected:
+            try:
+                src_shard, batch_barrier, batch = (
+                    self.data_queues[self.shard_id].get(timeout=self.timeout)
+                )
+            except queue.Empty:
+                raise SimulationError(
+                    f"shard {self.shard_id}: exchange queue starved for "
+                    f"{self.timeout:.0f}s waiting on shards "
+                    f"{sorted(expected)} at barrier {barrier}; a sender "
+                    "likely died mid-window"
+                ) from None
+            if batch_barrier == barrier and src_shard in expected:
+                expected.discard(src_shard)
+                batches[src_shard] = batch
+            elif batch_barrier > barrier:
+                self._stash[(batch_barrier, src_shard)] = batch
+            else:
+                raise SimulationError(
+                    f"shard {self.shard_id}: stale or duplicate exchange "
+                    f"batch from shard {src_shard} "
+                    f"(barrier {batch_barrier}, expected {barrier})"
+                )
+        return batches
+
+    def _decode_frame(self, blob: bytes, barrier: int, src: int) -> ExchangeFrame:
+        frame, frame_barrier = ExchangeFrame.decode(blob)
+        if frame_barrier != barrier:
+            raise SimulationError(
+                f"shard {self.shard_id}: exchange frame from shard {src} "
+                f"tagged barrier {frame_barrier}, expected {barrier}"
+            )
+        return frame
 
     def sync(
         self, outbound, next_time, last_time, executed, requests
     ) -> _Decision:
         barrier = self._barrier
         self._barrier += 1
-        counts = [len(box) for box in outbound]
-        min_outbound = _INF
-        for dst_shard, box in enumerate(outbound):
-            if box:
-                min_outbound = min(
-                    min_outbound, min(record[0] for record in box)
-                )
-                self.data_queues[dst_shard].put((self.shard_id, barrier, box))
+        counts, vias, min_outbound = self._ship(outbound, barrier)
         self.connection.send(
             (
                 "sync",
-                (next_time, last_time, executed, counts, min_outbound,
+                (next_time, last_time, executed, counts, vias, min_outbound,
                  requests),
             )
         )
@@ -1115,33 +1324,47 @@ class _ProcessChannel(_Channel):
         if kind == "abort":
             return _Decision(error=payload)
         window_start, global_last, total_executed, senders, control = payload
-        inbox: List[ExchangeRecord] = []
-        expected = set(senders)
-        for src_shard in list(expected):
-            stashed = self._stash.pop((barrier, src_shard), None)
-            if stashed is not None:
-                inbox.extend(stashed)
-                expected.discard(src_shard)
-        while expected:
-            src_shard, batch_barrier, box = (
-                self.data_queues[self.shard_id].get()
-            )
-            if batch_barrier == barrier and src_shard in expected:
-                expected.discard(src_shard)
-                inbox.extend(box)
-            elif batch_barrier > barrier:
-                self._stash[(batch_barrier, src_shard)] = box
-            else:
-                raise SimulationError(
-                    f"shard {self.shard_id}: stale or duplicate exchange "
-                    f"batch from shard {src_shard} "
-                    f"(barrier {batch_barrier}, expected {barrier})"
+        # senders: (src_shard, via) pairs in src-shard order.  Pop ring
+        # frames first (they are already published — the sender pushed
+        # before announcing its sync), then drain the queue for the rest.
+        ring_frames: Dict[int, ExchangeFrame] = {}
+        queue_expected = set()
+        for src_shard, via in senders:
+            if via == _VIA_RING:
+                blob = self.rings.ring(src_shard, self.shard_id).pop_wait(
+                    self.timeout,
+                    context=(
+                        f"shard {src_shard} -> {self.shard_id}, "
+                        f"barrier {barrier}"
+                    ),
                 )
+                ring_frames[src_shard] = self._decode_frame(
+                    blob, barrier, src_shard
+                )
+            else:
+                queue_expected.add(src_shard)
+        batches = self._collect_queue(barrier, queue_expected)
+        if self.use_frames:
+            inbox: List[Any] = []
+            for src_shard, via in senders:
+                if via == _VIA_RING:
+                    inbox.append(ring_frames[src_shard])
+                else:
+                    inbox.append(
+                        self._decode_frame(
+                            batches[src_shard], barrier, src_shard
+                        )
+                    )
+        else:
+            inbox = []
+            for src_shard in sorted(batches):
+                inbox.extend(batches[src_shard])
+            inbox = _sort_inbox(inbox)
         return _Decision(
             window_start=window_start,
             global_last=global_last,
             total_executed=total_executed,
-            inbox=_sort_inbox(inbox),
+            inbox=inbox,
             control=control,
         )
 
@@ -1167,6 +1390,7 @@ def _mp_context():
 def _run_mp(
     config: ScenarioConfig, workload: Workload, num_shards: int,
     lookahead: float, plane: Optional[DirectoryControlPlane] = None,
+    use_frames: bool = True,
 ) -> Tuple[List[tuple], int]:
     context = _mp_context()
     data_queues = [context.Queue() for _ in range(num_shards)]
@@ -1176,10 +1400,17 @@ def _run_mp(
     # BEFORE forking, so every worker inherits the snapshot through fork
     # copy-on-write memory — snapshot distribution costs no pickling at all.
     snapshot = plane.snapshot if plane is not None else None
+    # The ring grid likewise: one shared-memory segment mapped pre-fork, so
+    # no names or fds cross the process boundary.  K=1 has no cross-shard
+    # traffic and skips the mapping entirely.
+    rings = (
+        RingExchange(num_shards) if use_frames and num_shards > 1 else None
+    )
 
     def child_main(shard_id: int, connection) -> None:
         channel = _ProcessChannel(
-            shard_id, num_shards, connection, data_queues
+            shard_id, num_shards, connection, data_queues,
+            rings=rings, use_frames=use_frames,
         )
         try:
             runtime = _ShardRuntime(
@@ -1214,7 +1445,17 @@ def _run_mp(
         while True:
             round_messages: Dict[int, Tuple[str, Any]] = {}
             for shard_id, connection in enumerate(parent_connections):
-                kind, payload = connection.recv()
+                try:
+                    kind, payload = connection.recv()
+                except EOFError:
+                    # The worker died without a word (hard crash / kill):
+                    # its pipe closed.  Treat like an error report so the
+                    # rest of the fleet is aborted instead of left waiting
+                    # at the barrier forever.
+                    kind, payload = "error", (
+                        f"shard worker {shard_id} died mid-window "
+                        "(pipe closed without a sync/done/error message)"
+                    )
                 round_messages[shard_id] = (kind, payload)
             kinds = {kind for kind, _ in round_messages.values()}
             if "error" in kinds:
@@ -1225,7 +1466,12 @@ def _run_mp(
                 )
                 for shard_id, (kind, _) in round_messages.items():
                     if kind == "sync":
-                        parent_connections[shard_id].send(("abort", failure))
+                        try:
+                            parent_connections[shard_id].send(
+                                ("abort", failure)
+                            )
+                        except (BrokenPipeError, OSError):
+                            pass
                 raise SimulationError(f"shard worker failed:\n{failure}")
             if kinds == {"done"}:
                 for shard_id, (_, payload) in round_messages.items():
@@ -1240,18 +1486,19 @@ def _run_mp(
                         parent_connections[shard_id].send(("abort", failure))
                 raise SimulationError(failure)
             all_counts = []
+            all_vias = []
             all_requests = []
             window_start = _INF
             global_last = -_INF
             total_executed = 0
             for shard_id in range(num_shards):
-                next_time, last_time, executed, counts, min_outbound, requests = (
-                    round_messages[shard_id][1]
-                )
+                (next_time, last_time, executed, counts, vias, min_outbound,
+                 requests) = round_messages[shard_id][1]
                 window_start = min(window_start, next_time, min_outbound)
                 global_last = max(global_last, last_time)
                 total_executed += executed
                 all_counts.append(counts)
+                all_vias.append(vias)
                 all_requests.append(requests)
             control: List[ControlRecord] = []
             if plane is not None:
@@ -1262,7 +1509,7 @@ def _run_mp(
             windows += 1
             for shard_id in range(num_shards):
                 senders = [
-                    src_shard
+                    (src_shard, all_vias[src_shard][shard_id])
                     for src_shard in range(num_shards)
                     if all_counts[src_shard][shard_id] > 0
                 ]
@@ -1283,8 +1530,19 @@ def _run_mp(
             process.join(timeout=30.0)
             if process.is_alive():  # pragma: no cover - hung worker
                 process.terminate()
+                process.join(timeout=5.0)
+        for connection in parent_connections:
+            connection.close()
         for data_queue in data_queues:
+            # Explicit teardown: the parent never enqueues, so there is
+            # nothing for its feeder thread to flush — cancel the
+            # join-thread handshake outright rather than leaving close()'s
+            # implicit join to block interpreter exit on a wedged feeder
+            # (workers exit via os._exit and cannot wedge theirs).
+            data_queue.cancel_join_thread()
             data_queue.close()
+        if rings is not None:
+            rings.destroy()
     return payloads, windows
 
 
@@ -1359,9 +1617,12 @@ class ShardedScenario:
             if self.config.control_plane == "directory"
             else None
         )
+        # Read the exchange-path switch exactly once per run, in the
+        # parent, so workers can never disagree about the wire format.
+        use_frames = not scalar_exchange_enabled()
         payloads, windows = runner(
             self.config, workload, self.config.shards, self.lookahead,
-            plane=plane,
+            plane=plane, use_frames=use_frames,
         )
         merged = StatsCollector()
         now = -_INF

@@ -75,6 +75,15 @@ class StatsCollector:
         #: kernel shapes.  Merged by :meth:`merge`, reported via
         #: :meth:`directory_summary`, never fingerprinted.
         self.directory: Counter = Counter()
+        #: columnar shard-exchange accounting (SoA frames built, records
+        #: carried, encoded bytes written to the shared-memory rings,
+        #: payload-pickle and ring-capacity fallbacks).  Same contract as
+        #: :attr:`directory`: an artifact of the execution shape (it scales
+        #: with K and the executor and vanishes unsharded), so it is merged
+        #: by :meth:`merge` and reported via :meth:`exchange_summary` but
+        #: NEVER joins :meth:`fingerprint` — golden digests pin workload
+        #: observables that must be identical across kernel shapes.
+        self.exchange: Counter = Counter()
         self.log = ActivityLog()
         #: True once any recorded message's wire size diverged from its raw
         #: size (i.e. a non-identity codec touched this collector).  Gates
@@ -206,6 +215,35 @@ class StatsCollector:
         """The directory service counters (diagnostics; K-dependent)."""
         return dict(sorted(self.directory.items()))
 
+    # -- shard-exchange accounting ------------------------------------------
+
+    def record_exchange(
+        self,
+        frames: int = 0,
+        records: int = 0,
+        encoded_bytes: int = 0,
+        pickled_records: int = 0,
+        queue_fallbacks: int = 0,
+    ) -> None:
+        """Account columnar shard-exchange work (outside the fingerprint).
+
+        ``frames``/``records`` count SoA window frames and the records they
+        carry; ``encoded_bytes`` is the wire size of frames serialized for
+        the mp rings (zero under the serial executor, which passes array
+        frames in memory); ``pickled_records`` counts records whose payload
+        genuinely needed the pickle sidecar; ``queue_fallbacks`` counts
+        frames that outgrew the ring and fell back to the queue path.
+        """
+        self.exchange["frames"] += frames
+        self.exchange["records"] += records
+        self.exchange["encoded_bytes"] += encoded_bytes
+        self.exchange["pickled_records"] += pickled_records
+        self.exchange["queue_fallbacks"] += queue_fallbacks
+
+    def exchange_summary(self) -> Dict[str, int]:
+        """The shard-exchange counters (diagnostics; executor-dependent)."""
+        return dict(sorted(self.exchange.items()))
+
     # -- counters & series -------------------------------------------------------
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -226,11 +264,12 @@ class StatsCollector:
         checked against this structure: message/byte/hop counts by type,
         per-peer sent/received bytes, and named counters.  Time series and
         the activity log are excluded (they carry floats and free-form text,
-        not accounting), and so are the :attr:`directory` counters — control
-        plane service traffic scales with the shard count, while the
-        fingerprint pins observables that must be identical across every
-        kernel shape.  Keys are stringified so the snapshot serializes to
-        canonical JSON.
+        not accounting), and so are the :attr:`directory` and
+        :attr:`exchange` counters — control-plane service traffic and
+        shard-exchange framing scale with the shard count and executor,
+        while the fingerprint pins observables that must be identical
+        across every kernel shape.  Keys are stringified so the snapshot
+        serializes to canonical JSON.
 
         The wire-byte counters appear only once compressed traffic exists:
         under the identity codec wire == raw everywhere, and the snapshot —
@@ -311,6 +350,7 @@ class StatsCollector:
         self.hops_by_type.update(other.hops_by_type)
         self.counters.update(other.counters)
         self.directory.update(other.directory)
+        self.exchange.update(other.exchange)
         self.per_peer_bytes.update(other.per_peer_bytes)
         self.per_peer_wire_bytes.update(other.per_peer_wire_bytes)
         self.per_peer_received.update(other.per_peer_received)

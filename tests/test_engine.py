@@ -248,3 +248,107 @@ class TestPendingCounter:
         sim.clear()
         event.cancel()
         assert sim.pending_events == 0
+
+
+class TestScheduleBlock:
+    """The array-native block path must be observationally identical to
+    schedule_batch_at over the same records — same pop order, same
+    sequence-number consumption, same pending accounting."""
+
+    def _run_both(self, plan):
+        """plan(sim, schedule) builds one scenario; schedule(times, cb,
+        columns) is either the block or the per-event path."""
+
+        def batch(sim, times, callback, columns):
+            sim.schedule_batch_at(times, callback, zip(*columns))
+
+        def block(sim, times, callback, columns):
+            sim.schedule_block(times, callback, columns)
+
+        logs = []
+        for schedule in (batch, block):
+            sim = Simulator(seed=9)
+            log = []
+            plan(sim, lambda t, cb, cols: schedule(sim, t, cb, cols), log)
+            logs.append(log)
+        assert logs[0] == logs[1]
+        return logs[1]
+
+    def test_matches_batch_pop_order_with_interleaving(self):
+        def plan(sim, schedule, log):
+            sim.schedule(1.5, lambda: log.append(("single", sim.now)))
+            schedule(
+                [1.0, 1.5, 1.5, 3.0],
+                lambda tag: log.append((tag, sim.now)),
+                [["a", "b", "c", "d"]],
+            )
+            # later schedules must tie-break AFTER the whole block's
+            # pre-allocated sequence range
+            sim.schedule_at(1.5, lambda: log.append(("late", sim.now)))
+            sim.run()
+
+        log = self._run_both(plan)
+        assert [entry[0] for entry in log] == [
+            "a", "single", "b", "c", "late", "d",
+        ]
+
+    def test_multi_column_arguments(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_block(
+            [1.0, 2.0],
+            lambda a, b: seen.append((a, b, sim.now)),
+            [[10, 20], ["x", "y"]],
+        )
+        sim.run()
+        assert seen == [(10, "x", 1.0), (20, "y", 2.0)]
+
+    def test_pending_accounting_and_return_value(self):
+        sim = Simulator()
+        assert sim.schedule_block([], lambda: None, []) == 0
+        assert sim.schedule_block([1.0, 2.0, 3.0], lambda v: None, [[1, 2, 3]]) == 3
+        assert sim.pending_events == 3
+        sim.run(max_events=1)
+        assert sim.pending_events == 2
+        assert sim.events_processed == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 3
+
+    def test_until_clamp_mid_block_resumes(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_block(
+            [1.0, 2.0, 3.0], seen.append, [["a", "b", "c"]]
+        )
+        sim.run(until=1.5)
+        assert seen == ["a"] and sim.now == 1.5
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_clear_drops_remaining_block(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_block([1.0, 2.0], seen.append, [["a", "b"]])
+        sim.run(max_events=1)
+        sim.clear()
+        sim.run()
+        assert seen == ["a"]
+        assert sim.pending_events == 0
+
+    def test_past_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_block([0.5], lambda v: None, [[1]])
+
+    def test_decreasing_times_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            sim.schedule_block([2.0, 1.0], lambda v: None, [[1, 2]])
+
+    def test_column_length_mismatch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="mismatch"):
+            sim.schedule_block([1.0, 2.0], lambda v: None, [[1]])
