@@ -12,7 +12,6 @@ upload spreads load across super-peers with cheap vector queries; PACE pays
 the broadcast up front and then predicts for free.
 """
 
-import os
 
 import pytest
 
@@ -20,9 +19,11 @@ from repro.bench.harness import ExperimentSetting, build_system
 from repro.bench.reporting import format_table
 from repro.sim.codec import codec_names
 
+from repro.envutil import env_flag
+
 from _common import write_results
 
-_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+_SMOKE = env_flag("REPRO_BENCH_SMOKE")
 
 BASE = dict(
     num_users=6 if _SMOKE else 12,

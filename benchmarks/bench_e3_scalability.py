@@ -20,9 +20,17 @@ import pytest
 from repro.bench.harness import ExperimentSetting, run_experiment
 from repro.bench.reporting import format_table
 
-from _common import cpu_count, peak_rss_mb, write_bench_trajectory, write_results
+from repro.envutil import env_flag
 
-_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+from _common import (
+    RESULTS_DIR,
+    cpu_count,
+    peak_rss_mb,
+    write_bench_trajectory,
+    write_results,
+)
+
+_SMOKE = env_flag("REPRO_BENCH_SMOKE")
 
 SIZES = (6, 12) if _SMOKE else (6, 12, 18, 24)
 BASE = dict(docs_per_user=30, train_fraction=0.2, seed=0, max_eval_documents=50)
@@ -471,7 +479,7 @@ def _storm_workload(num_nodes, rounds, fanout):
 
 
 def _sharded_storm_config(num_nodes, shards, seed=3,
-                          control_plane="replicated"):
+                          control_plane="replicated", wal=None):
     from repro.sim.distribution import ShardSpec
     from repro.sim.scenario import ScenarioConfig
 
@@ -483,12 +491,13 @@ def _sharded_storm_config(num_nodes, shards, seed=3,
         shards=shards,
         shard=ShardSpec(num_peers=num_nodes),
         control_plane=control_plane if shards else "replicated",
+        wal=wal,
         seed=seed,
     )
 
 
 def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
-                      control_plane="replicated"):
+                      control_plane="replicated", wal=None):
     """One sharded storm run; returns (elapsed, digest, delivered, windows,
     max-per-worker construction cost, exchange summary)."""
     from repro.sim.shard import ShardedScenario
@@ -496,7 +505,7 @@ def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
     workload = _storm_workload(num_nodes, rounds, fanout)
     start = time.perf_counter()
     run = ShardedScenario(
-        _sharded_storm_config(num_nodes, shards, seed, control_plane),
+        _sharded_storm_config(num_nodes, shards, seed, control_plane, wal),
         executor=executor,
     ).run(workload)
     elapsed = time.perf_counter() - start
@@ -532,21 +541,34 @@ def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
 
 
 def _storm_configs():
-    """(label, shards, executor, control_plane, repeats) per E3e row."""
+    """(label, shards, executor, control_plane, repeats, wal, pair)
+    per E3e row.  Rows sharing a ``pair`` tag are measured with their
+    repeats interleaved run-for-run (see :func:`run_sharded_storm_rows`)."""
     nodes = SHARDED_STORM_NODES
     k = SHARDED_STORM_SHARDS
     configs = [
-        ("unsharded", 0, None, "replicated", 2),
-        (f"serial k{k}", k, "serial", "replicated", 2),
-        (f"mp k{k}", k, "mp", "replicated", 2),
+        ("unsharded", 0, None, "replicated", 2, False, None),
+        # The WAL axis: the same storms with every window barrier logged
+        # (frames + cursors + deltas) to the write-ahead log.  Their digests
+        # must join the all-equal set and their wall-clock prices the
+        # checkpoint overhead against the matching no-WAL rows (<10% bar).
+        # Each plain/WAL pair runs best-of-three with the repeats
+        # interleaved, so the overhead ratio divides minima from the same
+        # time neighborhood instead of rows measured minutes apart.
+        (f"serial k{k}", k, "serial", "replicated", 3, False, "serial-wal"),
+        (f"serial k{k} wal", k, "serial", "replicated", 3, True,
+         "serial-wal"),
+        (f"mp k{k}", k, "mp", "replicated", 3, False, "mp-wal"),
+        (f"mp k{k} wal", k, "mp", "replicated", 3, True, "mp-wal"),
     ]
     for dk in DIRECTORY_STORM_SHARDS:
         # Best-of-two on the K=8 pair (it carries the speedup bar); the
         # K=16 oversubscription row is informational and runs once.
         repeats = 2 if dk <= 8 else 1
         configs.append((f"serial k{dk} dir", dk, "serial", "directory",
-                        repeats))
-        configs.append((f"mp k{dk} dir", dk, "mp", "directory", repeats))
+                        repeats, False, None))
+        configs.append((f"mp k{dk} dir", dk, "mp", "directory", repeats,
+                        False, None))
     return configs
 
 
@@ -556,19 +578,44 @@ def run_sharded_storm_rows():
     fanout = SHARDED_STORM_FANOUT
     rows = []
     bench_entries = []
-    for label, shards, executor, plane, repeats in _storm_configs():
-        def run_once():
-            if shards == 0:
-                return run_unsharded_storm(nodes, rounds, fanout)
-            return run_sharded_storm(
-                nodes, shards, executor, rounds, fanout,
-                control_plane=plane,
-            )
+    wal_path = RESULTS_DIR / "e3_storm.wal"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    configs = _storm_configs()
 
-        # Best of `repeats`: a warmup-and-measure pair keeps ratios stable.
-        elapsed, digest, delivered, windows, cost, exchange = min(
-            (run_once() for _ in range(repeats)), key=lambda r: r[0]
+    def run_once(shards, executor, plane, wal):
+        if shards == 0:
+            return run_unsharded_storm(nodes, rounds, fanout)
+        return run_sharded_storm(
+            nodes, shards, executor, rounds, fanout, control_plane=plane,
+            # each repeat rewrites the log from scratch, so the timed
+            # work always includes the full checkpoint stream
+            wal=str(wal_path) if wal else None,
         )
+
+    # Measure, best of `repeats`.  Adjacent configs sharing a `pair` tag
+    # alternate run-for-run (plain, wal, plain, wal, ...): the <10%
+    # WAL-overhead bar divides two wall-clock minima, and back-to-back
+    # pairs cancel the slow machine drift (page cache, thermal, noisy
+    # neighbors) that otherwise dwarfs the true overhead when the two
+    # rows are measured minutes apart.
+    groups = []
+    for config in configs:
+        pair = config[6]
+        if pair is not None and groups and groups[-1][0] == pair:
+            groups[-1][1].append(config)
+        else:
+            groups.append((pair, [config]))
+    best = {}
+    for _pair, group in groups:
+        samples = {config[0]: [] for config in group}
+        for _ in range(group[0][4]):
+            for label, shards, executor, plane, _repeats, wal, _tag in group:
+                samples[label].append(run_once(shards, executor, plane, wal))
+        for label, runs in samples.items():
+            best[label] = min(runs, key=lambda r: r[0])
+
+    for label, shards, executor, plane, repeats, wal, _tag in configs:
+        elapsed, digest, delivered, windows, cost, exchange = best[label]
         messages = nodes * rounds * fanout
         rows.append(
             [
@@ -603,6 +650,8 @@ def run_sharded_storm_rows():
                 "exchange_queue_fallbacks": exchange.get(
                     "queue_fallbacks", 0
                 ),
+                "wal": wal,
+                "wal_bytes": os.path.getsize(wal_path) if wal else 0,
                 "stats_digest": digest[:16],
             }
         )
@@ -685,6 +734,27 @@ def test_e3_sharded_storm(benchmark):
             f"ceil(N/K), got {dir_row[5]}"
         )
         assert dir_row[6] == 0, "directory views must not build entries"
+
+    # The WAL rows carry the same digest (asserted above, they are in the
+    # all-equal set) and leave a committed, resumable log behind.
+    from repro.sim.wal import WalReader
+
+    wal_reader = WalReader(str(RESULTS_DIR / "e3_storm.wal"))
+    wal_row = by_label[f"mp k{SHARDED_STORM_SHARDS} wal"]
+    assert wal_reader.commit is not None
+    assert wal_reader.commit["windows"] == wal_row[4]
+    assert len(wal_reader.windows) == wal_row[4]
+    if not _SMOKE:
+        # The checkpoint overhead bar: logging every window barrier must
+        # cost < 10% wall-time against the matching no-WAL row.
+        for executor in ("serial", "mp"):
+            plain = by_label[f"{executor} k{SHARDED_STORM_SHARDS}"][9]
+            logged = by_label[f"{executor} k{SHARDED_STORM_SHARDS} wal"][9]
+            overhead = logged / max(plain, 1e-9) - 1.0
+            assert overhead < 0.10, (
+                f"{executor} WAL overhead {overhead:.1%} >= 10% "
+                f"({logged:.3f}s vs {plain:.3f}s)"
+            )
 
     serial_row = by_label[f"serial k{SHARDED_STORM_SHARDS}"]
     mp_row = by_label[f"mp k{SHARDED_STORM_SHARDS}"]

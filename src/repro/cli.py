@@ -73,6 +73,8 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
             shards=args.shards,
             executor=args.executor,
             control_plane=args.control_plane,
+            wal=args.wal,
+            resume=args.resume,
             train_fraction=args.train_fraction,
             threshold=args.threshold,
             seed=args.seed,
@@ -121,6 +123,17 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
         "worker, or serve overlay snapshots + per-window deltas from one "
         "directory (O(N/K) per-worker cost; requires --shards >= 1)",
     )
+    parser.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="checkpoint the sharded run's window stream to this "
+        "write-ahead log (requires --shards >= 1)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a write-ahead log via verified prefix replay; "
+        "combine with --wal NEW to re-log to a fresh file "
+        "(requires --shards >= 1)",
+    )
     parser.add_argument("--train-fraction", type=float, default=0.2)
     parser.add_argument("--threshold", type=float, default=0.5)
     parser.add_argument("--max-eval", type=int, default=80)
@@ -147,6 +160,49 @@ def cmd_run(args: argparse.Namespace) -> int:
         system.tune_thresholds()
     report = system.evaluate(max_documents=args.max_eval)
     print(report.summary())
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a window range from a simulation WAL in isolation."""
+    from repro.sim.wal import WalReader, replay_windows
+
+    reader = WalReader(args.path)
+    status = "committed" if reader.commit is not None else (
+        "torn tail discarded" if reader.truncated else "open"
+    )
+    print(
+        f"[wal] {args.path}: shards={reader.num_shards} "
+        f"lookahead={reader.lookahead:.4f}s windows={len(reader.windows)} "
+        f"({status})"
+    )
+    stop = args.to_window
+    total_deliveries = 0
+    for window in replay_windows(args.path, start=args.from_window, stop=stop):
+        total_deliveries += len(window.deliveries)
+        print(
+            f"window {window.barrier}: start={window.window_start:.4f} "
+            f"deliveries={len(window.deliveries)} "
+            f"control={len(window.control)} "
+            f"executed_total={window.total_executed}"
+        )
+        if args.records:
+            for (time, src, dst, msg_type, size, wire, hops) in (
+                window.deliveries
+            ):
+                print(
+                    f"  t={time:.6f} {msg_type} {src}->{dst} "
+                    f"{size}B/{wire}B hops={hops}"
+                )
+            for record in window.control:
+                print(f"  control t={record[0]:.6f} {record[1]}")
+    print(f"[wal] replayed {total_deliveries} cross-shard deliveries")
+    if reader.commit is not None:
+        print(
+            f"[wal] commit: digest={reader.commit['digest'][:16]}… "
+            f"now={reader.commit['now']:.6f} "
+            f"windows={reader.commit['windows']}"
+        )
     return 0
 
 
@@ -265,6 +321,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_options(p_suggest)
     _add_system_options(p_suggest)
     p_suggest.set_defaults(func=cmd_suggest)
+
+    p_replay = subparsers.add_parser(
+        "replay",
+        help="re-execute a window range from a simulation WAL "
+        "(time-travel debugging)",
+    )
+    p_replay.add_argument("path", help="write-ahead log file")
+    p_replay.add_argument(
+        "--from", type=int, default=0, dest="from_window",
+        help="first window to replay (default 0)",
+    )
+    p_replay.add_argument(
+        "--to", type=int, default=None, dest="to_window",
+        help="stop before this window (default: end of log)",
+    )
+    p_replay.add_argument(
+        "--records", action="store_true",
+        help="print every re-executed delivery and control record",
+    )
+    p_replay.set_defaults(func=cmd_replay)
 
     p_overlay = subparsers.add_parser(
         "overlay", help="build an overlay and report routing statistics"

@@ -56,6 +56,11 @@ class SystemConfig:
     #: serves overlay snapshots + per-window deltas from one authoritative
     #: control plane so per-worker cost is O(N/K)
     control_plane: str = "replicated"
+    #: simulation WAL (repro.sim.wal): checkpoint the sharded training
+    #: replay's window stream to this path / resume from this log via
+    #: verified prefix replay; used when shards >= 1
+    wal: Optional[str] = None
+    resume: Optional[str] = None
     mean_session: float = 600.0
     mean_downtime: float = 60.0
     train_fraction: float = 0.2  # the paper's 20 % manual-tag protocol
@@ -86,6 +91,11 @@ class SystemConfig:
             raise ConfigurationError(
                 "the directory control plane only applies to sharded "
                 "execution (set shards >= 1)"
+            )
+        if (self.wal or self.resume) and self.shards < 1:
+            raise ConfigurationError(
+                "the simulation WAL records the sharded kernel's window "
+                "stream (set shards >= 1 to use wal/resume)"
             )
 
 
@@ -364,6 +374,8 @@ class P2PDocTaggerSystem:
             shards=self.config.shards,
             executor=self.config.executor,
             control_plane=self.config.control_plane,
+            wal=self.config.wal,
+            resume=self.config.resume,
         )
         churn = self.config.churn
         peer_data = self._peer_data

@@ -1,0 +1,108 @@
+"""Environment-variable parsing with uniform semantics and loud failures.
+
+Every ``REPRO_*`` knob goes through this module, for two reasons:
+
+- **one boolean grammar** — the historical ``not in ("", "0")`` idiom was
+  copy-pasted per call site and drifted (``REPRO_X=false`` used to mean
+  *true*).  :func:`env_flag` parses unset/``""``/``0``/``false``/``no``/
+  ``off`` as False and ``1``/``true``/``yes``/``on`` as True, everywhere;
+  anything else is a hard error rather than a silent truthy surprise.
+- **validated numerics** — a malformed or out-of-range value must name the
+  variable and the accepted range at startup, not surface as a bare
+  ``ValueError`` at fork time or a zero-capacity ring deep in the exchange.
+
+Call sites pick the error class (``SimulationError`` for simulation-layer
+knobs) so the exception lands in the hierarchy the caller's tests expect.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Optional, Type
+
+from repro.errors import ConfigurationError, ReproError
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("", "0", "false", "no", "off")
+
+
+def env_flag(name: str) -> bool:
+    """Parse the boolean environment flag ``name``.
+
+    Unset, empty, ``0``, ``false``, ``no``, ``off`` (any case) → False;
+    ``1``, ``true``, ``yes``, ``on`` → True.  Anything else raises
+    :class:`ConfigurationError` naming the variable — a typo'd flag value
+    must never silently enable (or disable) a behaviour switch.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return False
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    raise ConfigurationError(
+        f"{name}={raw!r} is not a boolean flag; accepted values are "
+        f"1/true/yes/on, 0/false/no/off, or unset"
+    )
+
+
+def env_int(
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+    error: Type[ReproError] = ConfigurationError,
+) -> int:
+    """Parse integer env knob ``name``, raising ``error`` with the variable
+    name and accepted range on malformed, empty, or out-of-range values."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    bound = f" >= {minimum}" if minimum is not None else ""
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise error(
+            f"{name}={raw!r} is not an integer; expected an integer{bound} "
+            f"(default {default})"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise error(
+            f"{name}={value} is out of range; expected an integer{bound} "
+            f"(default {default})"
+        )
+    return value
+
+
+def env_float(
+    name: str,
+    default: float,
+    exclusive_minimum: Optional[float] = None,
+    error: Type[ReproError] = ConfigurationError,
+) -> float:
+    """Parse finite-float env knob ``name``; same error contract as
+    :func:`env_int`.  ``exclusive_minimum`` enforces a strict lower bound
+    (e.g. timeouts must be ``> 0``)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    bound = (
+        f" > {exclusive_minimum:g}" if exclusive_minimum is not None else ""
+    )
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise error(
+            f"{name}={raw!r} is not a number; expected a finite number{bound} "
+            f"(default {default:g})"
+        ) from None
+    if not math.isfinite(value) or (
+        exclusive_minimum is not None and value <= exclusive_minimum
+    ):
+        raise error(
+            f"{name}={raw!r} is out of range; expected a finite number{bound} "
+            f"(default {default:g})"
+        )
+    return value

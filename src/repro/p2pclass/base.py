@@ -9,7 +9,6 @@ pluggable interface P2PDocTagger trains and queries.
 
 from __future__ import annotations
 
-import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import (
@@ -26,6 +25,7 @@ from typing import (
 import numpy as np
 
 from repro.data.corpus import Corpus
+from repro.envutil import env_flag
 from repro.errors import ConfigurationError, NotTrainedError
 from repro.ml.sparse import SparseVector
 from repro.sim.node import SimNode
@@ -153,9 +153,7 @@ class P2PTagClassifier(ABC):
         #: sequential ``_advance`` stagger loop instead of the kernel's
         #: scheduled-batch pattern.  Activation times, RNG consumption, and
         #: stats are bit-identical either way (see :meth:`_run_staggered_round`).
-        self.scalar_rounds = (
-            os.environ.get(SCALAR_ROUNDS_ENV, "") not in ("", "0")
-        )
+        self.scalar_rounds = env_flag(SCALAR_ROUNDS_ENV)
         #: the one sanctioned path to the wire — protocols must not talk to
         #: the PhysicalNetwork directly (uniform charging and batching).
         self.transport = scenario.transport

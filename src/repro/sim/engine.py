@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -164,6 +164,26 @@ class Simulator:
         empty window before it is popped and skipped.
         """
         return self._queue[0][0] if self._queue else float("inf")
+
+    def export_cursors(self) -> Dict[str, Any]:
+        """Kernel cursor snapshot for the simulation WAL.
+
+        Captures the virtual clock, the next tie-break sequence number, the
+        live-event count, and the executed-event total — everything the WAL
+        needs to assert that a resumed kernel sits at exactly the same point
+        in the event stream.  Peeking the sequence counter consumes one
+        value, so the counter is re-seeded at the peeked value: schedules
+        issued after the snapshot draw the same numbers they would have
+        drawn without it.
+        """
+        sequence = next(self._sequence)
+        self._sequence = itertools.count(sequence)
+        return {
+            "now": self._now,
+            "seq": sequence,
+            "pending": self._pending,
+            "events": self._events_processed,
+        }
 
     def schedule(
         self,

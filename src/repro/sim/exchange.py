@@ -54,6 +54,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.envutil import env_flag, env_float, env_int
 from repro.errors import SimulationError
 
 _MAGIC = 0x536F4131  # "SoA1"
@@ -68,7 +69,7 @@ _INT_COLUMNS = ("seq", "src", "dst", "size_bytes", "wire_bytes", "hops")
 def scalar_exchange_enabled() -> bool:
     """True when ``REPRO_SCALAR_EXCHANGE=1`` pins the legacy tuple/pickle
     exchange path (the fallback/reference for the equivalence harness)."""
-    return os.environ.get("REPRO_SCALAR_EXCHANGE", "") not in ("", "0")
+    return env_flag("REPRO_SCALAR_EXCHANGE")
 
 
 def ring_capacity_bytes(num_shards: int) -> int:
@@ -81,15 +82,23 @@ def ring_capacity_bytes(num_shards: int) -> int:
     shallow ones (per-pair windows shrink as 1/K²).  Oversized frames are
     not an error — they take the loud queue fallback.
     """
-    total_kb = int(os.environ.get("REPRO_EXCHANGE_RING_KB_TOTAL", "32768"))
-    min_kb = int(os.environ.get("REPRO_EXCHANGE_RING_KB_MIN", "128"))
+    total_kb = env_int(
+        "REPRO_EXCHANGE_RING_KB_TOTAL", 32768, minimum=0,
+        error=SimulationError,
+    )
+    min_kb = env_int(
+        "REPRO_EXCHANGE_RING_KB_MIN", 128, minimum=1, error=SimulationError,
+    )
     per_ring = (total_kb * 1024) // max(1, num_shards * num_shards)
     return max(min_kb * 1024, per_ring)
 
 
 def exchange_timeout_seconds() -> float:
     """How long a reader polls a ring before declaring the sender dead."""
-    return float(os.environ.get("REPRO_EXCHANGE_TIMEOUT_S", "60"))
+    return env_float(
+        "REPRO_EXCHANGE_TIMEOUT_S", 60.0, exclusive_minimum=0.0,
+        error=SimulationError,
+    )
 
 
 class ExchangeFrame:

@@ -121,6 +121,20 @@ class PeerStreams:
     def churn_rng(self, peer: int) -> np.random.Generator:
         return self._stream(self._LANES["churn"], peer)
 
+    def export_cursors(self) -> Dict[str, dict]:
+        """RNG cursor snapshot for the simulation WAL: every *instantiated*
+        stream's bit-generator state, keyed ``"lane:peer"`` in sorted order.
+
+        Reading ``bit_generator.state`` does not consume draws, and lazily-
+        created streams are fully determined by ``(seed, peer, lane)``, so
+        the instantiated subset is a complete description of the RNG
+        frontier: two runs whose cursors match draw identical futures.
+        """
+        return {
+            f"{lane}:{peer}": self._streams[(lane, peer)].bit_generator.state
+            for lane, peer in sorted(self._streams)
+        }
+
 
 def pair_factors(src: int, dsts: np.ndarray) -> np.ndarray:
     """Vectorized per-pair latency factors in [0.5, 1.5] for one source.

@@ -71,6 +71,13 @@ class ScenarioConfig:
     #: records, and workers apply deltas at barriers — per-worker control
     #: and construction cost drops to O(N/K)).
     control_plane: str = "replicated"
+    #: simulation WAL (repro.sim.wal): checkpoint the run's window stream
+    #: to this path ...
+    wal: Optional[str] = None
+    #: ... and/or resume (verified prefix replay) from this log.  Both are
+    #: log plumbing, not physics — they never change the event stream and
+    #: are excluded from the WAL's own config fingerprint.
+    resume: Optional[str] = None
     seed: int = 0
 
     def validate(self) -> None:
@@ -110,6 +117,11 @@ class ScenarioConfig:
                     "sharded execution requires jitter_floor > 0 (it bounds "
                     "the cross-shard lookahead window)"
                 )
+        if (self.wal or self.resume) and self.shards < 1:
+            raise ConfigurationError(
+                "the simulation WAL hooks the sharded kernel's window "
+                "barriers (set shards >= 1 to use wal/resume)"
+            )
         if self.shard.num_peers != self.num_peers:
             raise ConfigurationError(
                 "shard.num_peers must equal num_peers "

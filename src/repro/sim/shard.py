@@ -114,6 +114,7 @@ from repro.sim.messages import Message, payload_size
 from repro.sim.network import LatencyModel, PeerStreams, PhysicalNetwork
 from repro.sim.scenario import Scenario, ScenarioConfig
 from repro.sim.stats import StatsCollector
+from repro.sim.wal import WalProbe, WalSession
 
 _INF = float("inf")
 
@@ -430,6 +431,9 @@ class _ShardRuntime:
         self.control_sink: Optional[Callable[[List[ControlRecord]], None]] = (
             None
         )
+        #: WAL runs: installed by :func:`_worker_body` — exports the
+        #: worker's stats delta + kernel/RNG cursors at each barrier
+        self.wal_probe: Optional[Callable[[], bytes]] = None
 
     def request_control(self, kind: str, time: float) -> None:
         """Queue a control request for the next window barrier."""
@@ -505,6 +509,7 @@ class ShardSimulator(Simulator):
         entry_now = self._now
         last_this_run = -_INF
         self._exhausted = False
+        probe = runtime.wal_probe
         while True:
             decision = runtime.channel.sync(
                 runtime.take_outbound(),
@@ -512,6 +517,7 @@ class ShardSimulator(Simulator):
                 last_this_run,
                 executed,
                 runtime.take_requests(),
+                probe() if probe is not None else None,
             )
             runtime.windows += 1
             if decision.error is not None:
@@ -916,6 +922,7 @@ class _Channel:
         last_time: float,
         executed: int,
         requests: List[Tuple[str, float]],
+        extras: Optional[dict] = None,
     ) -> _Decision:
         raise NotImplementedError
 
@@ -1033,7 +1040,7 @@ class _ThreadChannel(_Channel):
         self.use_frames = use_frames
 
     def sync(
-        self, outbound, next_time, last_time, executed, requests
+        self, outbound, next_time, last_time, executed, requests, extras=None
     ) -> _Decision:
         if self.use_frames:
             # Columnarize worker-side (in parallel across threads); frames
@@ -1044,7 +1051,7 @@ class _ThreadChannel(_Channel):
             (
                 self.shard_id,
                 "sync",
-                (outbound, next_time, last_time, executed, requests),
+                (outbound, next_time, last_time, executed, requests, extras),
             )
         )
         return self.from_coordinator.get()
@@ -1060,25 +1067,35 @@ def _worker_body(
     config: ScenarioConfig,
     workload: Workload,
     runtime: _ShardRuntime,
+    wal_cadence: int = 0,
 ) -> Any:
     scenario = _ShardWorkerScenario(config, runtime)
+    probe = None
+    if wal_cadence:
+        probe = WalProbe(scenario, wal_cadence)
+        runtime.wal_probe = probe
     result = workload(scenario)
     # Fold the channel's exchange accounting (frames shipped, records,
     # encoded bytes, fallbacks) into the worker's collector; merged
     # parent-side like the directory counters, never fingerprinted.
     if runtime.channel.exchange:
         scenario.stats.exchange.update(runtime.channel.exchange)
+    if probe is not None:
+        # Fourth element: the WAL tail (post-barrier stats delta + final
+        # cursors), sealed into the commit record coordinator-side.
+        return (scenario.stats, scenario.simulator.now, result, probe.tail())
     return (scenario.stats, scenario.simulator.now, result)
 
 
 def _run_serial(
     config: ScenarioConfig, workload: Workload, num_shards: int,
     lookahead: float, plane: Optional[DirectoryControlPlane] = None,
-    use_frames: bool = True,
+    use_frames: bool = True, wal: Optional[WalSession] = None,
 ) -> Tuple[List[tuple], int]:
     to_coordinator: "queue.Queue" = queue.Queue()
     from_coordinator = [queue.Queue() for _ in range(num_shards)]
     snapshot = plane.snapshot if plane is not None else None
+    wal_cadence = wal.cursor_every if wal is not None else 0
 
     def worker(shard_id: int) -> None:
         channel = _ThreadChannel(
@@ -1089,7 +1106,9 @@ def _run_serial(
             runtime = _ShardRuntime(
                 shard_id, num_shards, channel, lookahead, snapshot=snapshot
             )
-            channel.finish(_worker_body(config, workload, runtime))
+            channel.finish(
+                _worker_body(config, workload, runtime, wal_cadence)
+            )
         except BaseException:
             channel.fail(traceback.format_exc())
 
@@ -1149,6 +1168,30 @@ def _run_serial(
             window_start = min(window_start, plane.next_time())
             if window_start != _INF:
                 control = plane.advance(window_start + lookahead)
+        if wal is not None:
+            # The serial executor never encodes frames for transport, so
+            # the WAL encodes them here (same bytes the mp workers ship).
+            frame_blobs: Dict[Tuple[int, int], bytes] = {}
+            for src_shard, status in enumerate(statuses):
+                for dst_shard, frame in enumerate(status[0]):
+                    if frame is not None:
+                        frame_blobs[(src_shard, dst_shard)] = (
+                            frame.encode(windows)
+                        )
+            try:
+                wal.on_window(
+                    barrier=windows,
+                    window_start=window_start,
+                    global_last=global_last,
+                    total_executed=total_executed,
+                    statuses=[status[1:6] for status in statuses],
+                    frames=frame_blobs,
+                    control=control,
+                )
+            except SimulationError as exc:
+                for shard_id in range(num_shards):
+                    from_coordinator[shard_id].put(_Decision(error=str(exc)))
+                raise
         windows += 1
         for shard_id in range(num_shards):
             from_coordinator[shard_id].put(
@@ -1207,6 +1250,7 @@ class _ProcessChannel(_Channel):
     def __init__(
         self, shard_id, num_shards, connection, data_queues,
         rings: Optional[RingExchange] = None, use_frames: bool = True,
+        ship_wal_blobs: bool = False,
     ) -> None:
         super().__init__()
         self.shard_id = shard_id
@@ -1215,6 +1259,10 @@ class _ProcessChannel(_Channel):
         self.data_queues = data_queues
         self.rings = rings
         self.use_frames = use_frames
+        #: WAL runs: also hand the coordinator each window's encoded frame
+        #: blobs inside the sync message (the rings are peer-to-peer, so
+        #: the parent never sees payload bytes otherwise)
+        self.ship_wal_blobs = ship_wal_blobs
         self.timeout = exchange_timeout_seconds()
         self._barrier = 0
         #: early queue batches keyed by (barrier, src_shard); values are
@@ -1223,12 +1271,18 @@ class _ProcessChannel(_Channel):
 
     # -- send side ----------------------------------------------------------
 
-    def _ship(self, outbound, barrier) -> Tuple[List[int], List[int], float]:
+    def _ship(
+        self, outbound, barrier
+    ) -> Tuple[List[int], List[int], float, Optional[List[Tuple[int, bytes]]]]:
         """Encode and publish one window's outboxes; returns per-dst record
-        counts, via codes, and the minimum outbound delivery time."""
+        counts, via codes, the minimum outbound delivery time, and (WAL
+        runs only) the encoded blobs for the coordinator's log."""
         counts = [len(box) for box in outbound]
         vias = [_VIA_NONE] * self.num_shards
         min_outbound = _INF
+        wal_blobs: Optional[List[Tuple[int, bytes]]] = (
+            [] if self.ship_wal_blobs else None
+        )
         exchange = self.exchange
         for dst_shard, box in enumerate(outbound):
             if not box:
@@ -1241,6 +1295,8 @@ class _ProcessChannel(_Channel):
                 exchange["records"] += frame.count
                 exchange["encoded_bytes"] += len(blob)
                 exchange["pickled_records"] += frame.payload_count
+                if wal_blobs is not None:
+                    wal_blobs.append((dst_shard, blob))
                 ring = (
                     self.rings.ring(self.shard_id, dst_shard)
                     if self.rings is not None
@@ -1260,7 +1316,7 @@ class _ProcessChannel(_Channel):
                 )
                 vias[dst_shard] = _VIA_QUEUE
                 self.data_queues[dst_shard].put((self.shard_id, barrier, box))
-        return counts, vias, min_outbound
+        return counts, vias, min_outbound, wal_blobs
 
     # -- receive side -------------------------------------------------------
 
@@ -1308,16 +1364,16 @@ class _ProcessChannel(_Channel):
         return frame
 
     def sync(
-        self, outbound, next_time, last_time, executed, requests
+        self, outbound, next_time, last_time, executed, requests, extras=None
     ) -> _Decision:
         barrier = self._barrier
         self._barrier += 1
-        counts, vias, min_outbound = self._ship(outbound, barrier)
+        counts, vias, min_outbound, wal_blobs = self._ship(outbound, barrier)
         self.connection.send(
             (
                 "sync",
                 (next_time, last_time, executed, counts, vias, min_outbound,
-                 requests),
+                 requests, extras, wal_blobs),
             )
         )
         kind, payload = self.connection.recv()
@@ -1390,7 +1446,7 @@ def _mp_context():
 def _run_mp(
     config: ScenarioConfig, workload: Workload, num_shards: int,
     lookahead: float, plane: Optional[DirectoryControlPlane] = None,
-    use_frames: bool = True,
+    use_frames: bool = True, wal: Optional[WalSession] = None,
 ) -> Tuple[List[tuple], int]:
     context = _mp_context()
     data_queues = [context.Queue() for _ in range(num_shards)]
@@ -1406,17 +1462,24 @@ def _run_mp(
     rings = (
         RingExchange(num_shards) if use_frames and num_shards > 1 else None
     )
+    # WAL plumbing is captured pre-fork as plain values (the session object
+    # itself — open file handle and all — stays parent-only).
+    wal_cadence = wal.cursor_every if wal is not None else 0
+    ship_wal_blobs = wal is not None
 
     def child_main(shard_id: int, connection) -> None:
         channel = _ProcessChannel(
             shard_id, num_shards, connection, data_queues,
             rings=rings, use_frames=use_frames,
+            ship_wal_blobs=ship_wal_blobs,
         )
         try:
             runtime = _ShardRuntime(
                 shard_id, num_shards, channel, lookahead, snapshot=snapshot
             )
-            channel.finish(_worker_body(config, workload, runtime))
+            channel.finish(
+                _worker_body(config, workload, runtime, wal_cadence)
+            )
         except BaseException:
             try:
                 channel.fail(traceback.format_exc())
@@ -1488,24 +1551,53 @@ def _run_mp(
             all_counts = []
             all_vias = []
             all_requests = []
+            wal_statuses = []
+            frame_blobs: Dict[Tuple[int, int], bytes] = {}
             window_start = _INF
             global_last = -_INF
             total_executed = 0
             for shard_id in range(num_shards):
                 (next_time, last_time, executed, counts, vias, min_outbound,
-                 requests) = round_messages[shard_id][1]
+                 requests, extras, wal_blobs) = round_messages[shard_id][1]
                 window_start = min(window_start, next_time, min_outbound)
                 global_last = max(global_last, last_time)
                 total_executed += executed
                 all_counts.append(counts)
                 all_vias.append(vias)
                 all_requests.append(requests)
+                if wal is not None:
+                    wal_statuses.append(
+                        (next_time, last_time, executed, requests, extras)
+                    )
+                    for dst_shard, blob in wal_blobs or ():
+                        frame_blobs[(shard_id, dst_shard)] = blob
             control: List[ControlRecord] = []
             if plane is not None:
                 plane.handle_requests(_agreed_requests(all_requests))
                 window_start = min(window_start, plane.next_time())
                 if window_start != _INF:
                     control = plane.advance(window_start + lookahead)
+            if wal is not None:
+                try:
+                    wal.on_window(
+                        barrier=windows,
+                        window_start=window_start,
+                        global_last=global_last,
+                        total_executed=total_executed,
+                        statuses=wal_statuses,
+                        frames=frame_blobs,
+                        control=control,
+                    )
+                except SimulationError as exc:
+                    failure = str(exc)
+                    for shard_id in range(num_shards):
+                        try:
+                            parent_connections[shard_id].send(
+                                ("abort", failure)
+                            )
+                        except (BrokenPipeError, OSError):
+                            pass
+                    raise
             windows += 1
             for shard_id in range(num_shards):
                 senders = [
@@ -1620,32 +1712,49 @@ class ShardedScenario:
         # Read the exchange-path switch exactly once per run, in the
         # parent, so workers can never disagree about the wire format.
         use_frames = not scalar_exchange_enabled()
-        payloads, windows = runner(
-            self.config, workload, self.config.shards, self.lookahead,
-            plane=plane, use_frames=use_frames,
+        wal = (
+            WalSession(
+                self.config, self.config.shards, self.lookahead, use_frames
+            )
+            if (self.config.wal or self.config.resume)
+            else None
         )
-        merged = StatsCollector()
-        now = -_INF
-        results = []
-        for stats, worker_now, result in payloads:
-            merged.merge(stats)
-            now = max(now, worker_now)
-            results.append(result)
-        return ShardedRun(
-            stats=merged,
-            now=now,
-            results=results,
-            shards=self.config.shards,
-            executor=self.executor,
-            lookahead=self.lookahead,
-            windows=windows,
-            control_plane=self.config.control_plane,
-            control_records=plane.records_emitted if plane else 0,
-            control_edits=plane.edits_emitted if plane else 0,
-            control_bytes=(
-                plane.snapshot_bytes + plane.record_bytes if plane else 0
-            ),
-        )
+        try:
+            payloads, windows = runner(
+                self.config, workload, self.config.shards, self.lookahead,
+                plane=plane, use_frames=use_frames, wal=wal,
+            )
+            merged = StatsCollector()
+            now = -_INF
+            results = []
+            tails: List[Optional[dict]] = []
+            for payload in payloads:
+                stats, worker_now, result = payload[0], payload[1], payload[2]
+                tails.append(payload[3] if len(payload) > 3 else None)
+                merged.merge(stats)
+                now = max(now, worker_now)
+                results.append(result)
+            run = ShardedRun(
+                stats=merged,
+                now=now,
+                results=results,
+                shards=self.config.shards,
+                executor=self.executor,
+                lookahead=self.lookahead,
+                windows=windows,
+                control_plane=self.config.control_plane,
+                control_records=plane.records_emitted if plane else 0,
+                control_edits=plane.edits_emitted if plane else 0,
+                control_bytes=(
+                    plane.snapshot_bytes + plane.record_bytes if plane else 0
+                ),
+            )
+            if wal is not None:
+                wal.finish(run.digest(), run.now, windows, tails)
+            return run
+        finally:
+            if wal is not None:
+                wal.close()
 
 
 def run_sharded(

@@ -357,3 +357,56 @@ class StatsCollector:
         self._compressed = self._compressed or other._compressed
         for name, points in other.series.items():
             self.series[name].extend(points)
+
+    # -- window deltas (simulation WAL) ------------------------------------
+
+    #: the counter families :meth:`fingerprint` is built from — exactly the
+    #: state the WAL must log per window for prefix replay to reproduce the
+    #: final digest.  ``series``/``log`` (not fingerprinted, unbounded) and
+    #: ``directory``/``exchange`` (execution-shape artifacts, see above) are
+    #: deliberately excluded.
+    _DELTA_FAMILIES = (
+        "messages_by_type", "bytes_by_type", "wire_bytes_by_type",
+        "hops_by_type", "counters", "per_peer_bytes",
+        "per_peer_wire_bytes", "per_peer_received",
+    )
+
+    def delta_snapshot(self) -> Dict[str, dict]:
+        """Cheap copy of the fingerprinted families, for :meth:`delta_since`."""
+        snapshot: Dict[str, dict] = {
+            name: dict(getattr(self, name)) for name in self._DELTA_FAMILIES
+        }
+        snapshot["compressed"] = self._compressed
+        return snapshot
+
+    def delta_since(self, snapshot: Dict[str, dict]) -> Dict[str, dict]:
+        """Changed-key increments since ``snapshot``.
+
+        Counters only ever grow, so the delta is ``{key: new - old}`` over
+        keys whose value moved; empty families are omitted.  Deltas compose:
+        applying every window's delta (any order — the algebra is
+        commutative, like :meth:`merge`) to a fresh collector reproduces the
+        source collector's :meth:`fingerprint` exactly.
+        """
+        delta: Dict[str, dict] = {}
+        for name in self._DELTA_FAMILIES:
+            base = snapshot[name]
+            changed = {
+                key: value - base.get(key, 0)
+                for key, value in getattr(self, name).items()
+                if value != base.get(key, 0)
+            }
+            if changed:
+                delta[name] = changed
+        if self._compressed and not snapshot["compressed"]:
+            delta["compressed"] = True
+        return delta
+
+    def apply_delta(self, delta: Dict[str, dict]) -> None:
+        """Fold a :meth:`delta_since` increment into this collector."""
+        for name in self._DELTA_FAMILIES:
+            changed = delta.get(name)
+            if changed:
+                getattr(self, name).update(changed)
+        if delta.get("compressed"):
+            self._compressed = True

@@ -30,12 +30,12 @@ to the pre-codec stack.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.envutil import env_flag
 from repro.errors import SimulationError
 from repro.overlay.base import Overlay, RouteResult
 from repro.sim.codec import CodecTable, make_codec_table
@@ -137,9 +137,7 @@ class Transport:
         #: debug/equivalence flag: force the scalar message-per-recipient
         #: broadcast path (the pre-vectorization behaviour).  Results are
         #: bit-identical either way; only wall-clock differs.
-        self.scalar_broadcast = (
-            os.environ.get(SCALAR_BROADCAST_ENV, "") not in ("", "0")
-        )
+        self.scalar_broadcast = env_flag(SCALAR_BROADCAST_ENV)
         self.codec = codec if codec is not None else make_codec_table("identity")
 
     # -- wire-format codec ---------------------------------------------------

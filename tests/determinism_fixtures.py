@@ -250,6 +250,7 @@ def run_training_sharded(
     protocol: str, overlay: str, variant: str, shards: int,
     executor: str = "serial", codec: str = "identity",
     num_peers: int = NUM_PEERS, control_plane: str = "replicated",
+    wal: str = None, resume: str = None,
 ):
     """Train one combo through the K-shard kernel; returns the
     :class:`repro.sim.shard.ShardedRun` (merged stats + agreed clock).
@@ -258,12 +259,16 @@ def run_training_sharded(
     directory-served control plane (overlay snapshot + per-window deltas)
     instead of SPMD replication — the digest must not change.
     """
+    from dataclasses import replace
+
     from repro.sim.shard import ShardedScenario
 
     config = build_scenario_config(
         overlay, variant, num_peers=num_peers, codec=codec,
         rng_mode="perpeer", shards=shards, control_plane=control_plane,
     )
+    if wal or resume:
+        config = replace(config, wal=wal, resume=resume)
     return ShardedScenario(config, executor=executor).run(
         training_workload(protocol, variant, codec)
     )

@@ -21,6 +21,7 @@ from repro.sim.exchange import (
     ExchangeFrame,
     RingExchange,
     ShardRing,
+    exchange_timeout_seconds,
     merge_frames,
     ring_capacity_bytes,
     scalar_exchange_enabled,
@@ -223,6 +224,49 @@ def test_scalar_exchange_env_switch(monkeypatch):
     assert not scalar_exchange_enabled()
     monkeypatch.setenv("REPRO_SCALAR_EXCHANGE", "1")
     assert scalar_exchange_enabled()
+    # the old `not in ("", "0")` idiom parsed "false" as truthy; env_flag
+    # fixes that drift
+    monkeypatch.setenv("REPRO_SCALAR_EXCHANGE", "false")
+    assert not scalar_exchange_enabled()
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "-1", "1.5", "0x20"])
+def test_ring_total_env_rejects_bad_values(monkeypatch, bad):
+    """Malformed/empty/negative budget knobs must raise a SimulationError
+    naming the variable, not a bare ValueError at fork time."""
+    monkeypatch.setenv("REPRO_EXCHANGE_RING_KB_TOTAL", bad)
+    with pytest.raises(SimulationError, match="REPRO_EXCHANGE_RING_KB_TOTAL"):
+        ring_capacity_bytes(2)
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "-8", "0"])
+def test_ring_min_env_rejects_bad_values(monkeypatch, bad):
+    """A zero or negative floor would allow zero-capacity rings that force
+    every frame onto the fallback queue; reject at startup."""
+    monkeypatch.setenv("REPRO_EXCHANGE_RING_KB_MIN", bad)
+    with pytest.raises(SimulationError, match="REPRO_EXCHANGE_RING_KB_MIN"):
+        ring_capacity_bytes(2)
+
+
+def test_ring_total_zero_stays_legal_with_positive_floor(monkeypatch):
+    # TOTAL=0 deliberately remains valid: the MIN >= 1 floor guarantees
+    # positive ring capacity (the oversized-frame fallback test relies on
+    # forcing minimum-size rings this way).
+    monkeypatch.setenv("REPRO_EXCHANGE_RING_KB_TOTAL", "0")
+    monkeypatch.setenv("REPRO_EXCHANGE_RING_KB_MIN", "1")
+    assert ring_capacity_bytes(2) == 1024
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "0", "-3", "inf", "nan"])
+def test_exchange_timeout_env_rejects_bad_values(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_EXCHANGE_TIMEOUT_S", bad)
+    with pytest.raises(SimulationError, match="REPRO_EXCHANGE_TIMEOUT_S"):
+        exchange_timeout_seconds()
+
+
+def test_exchange_timeout_env_accepts_fractional(monkeypatch):
+    monkeypatch.setenv("REPRO_EXCHANGE_TIMEOUT_S", "2.5")
+    assert exchange_timeout_seconds() == 2.5
 
 
 # ---------------------------------------------------------------------------

@@ -20,12 +20,12 @@ counters), which is the operation the sharded executors rely on to fold
 per-shard collectors into the global observables.
 """
 
-import os
 import random
 from functools import lru_cache
 
 import pytest
 
+from repro.envutil import env_flag
 from repro.sim.messages import Message
 from repro.sim.stats import StatsCollector
 
@@ -111,7 +111,7 @@ def test_sharded_serial_matches_unsharded_kernel(case):
 
 
 def _mp_cases():
-    if os.environ.get(MP_FULL_ENV, "") not in ("", "0"):
+    if env_flag(MP_FULL_ENV):
         return [c for c in CASES if c[4] >= 2]
     return [c for c in CASES if c[4] >= 2][:MP_SUBSET]
 
@@ -206,7 +206,7 @@ def test_directory_serial_matches_unsharded_kernel(case):
 
 def _directory_mp_cases():
     cases = [c for c in DIRECTORY_CASES if c[4] >= 2]
-    if os.environ.get(MP_FULL_ENV, "") not in ("", "0"):
+    if env_flag(MP_FULL_ENV):
         return cases
     return cases[:DIRECTORY_MP_SUBSET]
 
