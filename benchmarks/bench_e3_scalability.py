@@ -429,7 +429,7 @@ def _cpus():
     return cpu_count()
 
 
-def _storm_workload(num_nodes, rounds, fanout):
+class _StormWorkload:
     """SPMD storm: every node fires one batched fanout block per round.
 
     Runs identically on the unsharded kernel and in every shard worker;
@@ -439,11 +439,24 @@ def _storm_workload(num_nodes, rounds, fanout):
     Registration goes through the ownership gate
     (:meth:`Scenario.register_peer`): directory-mode workers materialize
     handlers only for owned peers.  Returns (delivered, construction_cost).
+
+    A class carrying its parameters (not a closure) so the tcp executor
+    can pickle it into worker processes.
     """
 
-    def workload(scenario):
+    def __init__(self, num_nodes, rounds, fanout,
+                 payload_bytes=SHARDED_STORM_PAYLOAD_BYTES):
+        self.num_nodes = num_nodes
+        self.rounds = rounds
+        self.fanout = fanout
+        self.payload_bytes = payload_bytes
+
+    def __call__(self, scenario):
         from repro.sim.messages import Message
 
+        num_nodes = self.num_nodes
+        fanout = self.fanout
+        payload_bytes = self.payload_bytes
         delivered = [0]
 
         def handler(message):
@@ -462,12 +475,12 @@ def _storm_workload(num_nodes, rounds, fanout):
                     dst = (dst + 1) % num_nodes
                 block.append(
                     Message(src=src, dst=dst, msg_type="storm", payload=None,
-                            size_bytes=SHARDED_STORM_PAYLOAD_BYTES)
+                            size_bytes=payload_bytes)
                 )
             transport.send_batch(block)
 
         owns = scenario.owns
-        for round_index in range(rounds):
+        for round_index in range(self.rounds):
             at = float(round_index)
             for src in range(num_nodes):
                 if owns(src):
@@ -475,7 +488,10 @@ def _storm_workload(num_nodes, rounds, fanout):
         simulator.run_until_idle(max_events=5_000_000)
         return delivered[0], scenario.construction_cost()
 
-    return workload
+
+def _storm_workload(num_nodes, rounds, fanout):
+    """Picklable SPMD storm workload (see :class:`_StormWorkload`)."""
+    return _StormWorkload(num_nodes, rounds, fanout)
 
 
 def _sharded_storm_config(num_nodes, shards, seed=3,
@@ -560,6 +576,13 @@ def _storm_configs():
          "serial-wal"),
         (f"mp k{k}", k, "mp", "replicated", 3, False, "mp-wal"),
         (f"mp k{k} wal", k, "mp", "replicated", 3, True, "mp-wal"),
+        # The tcp executor (PR 8): the same storm with shard workers as
+        # socket-connected processes over localhost — prices the wire
+        # protocol (frame blobs riding sync/decision messages through the
+        # coordinator) against mp's shared-memory rings.  Digests must
+        # join the all-equal set like every other row.
+        (f"tcp k{k}", k, "tcp", "replicated", 2, False, None),
+        (f"tcp k{k} dir", k, "tcp", "directory", 2, False, None),
     ]
     for dk in DIRECTORY_STORM_SHARDS:
         # Best-of-two on the K=8 pair (it carries the speedup bar); the
@@ -642,7 +665,9 @@ def run_sharded_storm_rows():
                 "nodes": nodes,
                 "messages": messages,
                 "seconds": round(elapsed, 3),
-                "peak_rss_mb": peak_rss_mb(children=(executor == "mp")),
+                "peak_rss_mb": peak_rss_mb(
+                    children=(executor in ("mp", "tcp"))
+                ),
                 "peers_materialized_max": cost["peers_materialized"],
                 "overlay_entries_built_max": cost["overlay_entries_built"],
                 "exchange_records": exchange.get("records", 0),

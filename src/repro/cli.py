@@ -73,6 +73,7 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
             shards=args.shards,
             executor=args.executor,
             control_plane=args.control_plane,
+            tcp_hosts=args.hosts,
             wal=args.wal,
             resume=args.resume,
             train_fraction=args.train_fraction,
@@ -112,9 +113,17 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
         "K-shard kernel and verifies it is byte-identical to the local run",
     )
     parser.add_argument(
-        "--executor", choices=("serial", "mp"), default="serial",
-        help="sharded executor: lockstep serial reference or one worker "
-        "process per shard",
+        "--executor", choices=("serial", "mp", "tcp"), default="serial",
+        help="sharded executor: lockstep serial reference, one worker "
+        "process per shard (mp), or socket-connected workers spawned per "
+        "--hosts (tcp)",
+    )
+    parser.add_argument(
+        "--hosts", default=None, metavar="SPEC",
+        help="tcp executor worker placement: comma-separated entries, one "
+        "per shard (or one for all) — 'local' spawns `repro worker` here, "
+        "'wait' expects an externally launched worker to connect, "
+        "'ssh:HOST' spawns over ssh (requires --executor tcp)",
     )
     parser.add_argument(
         "--control-plane", choices=("replicated", "directory"),
@@ -272,6 +281,16 @@ def cmd_overlay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """One tcp shard worker process (spawned by the coordinator for
+    'local' hosts entries, or launched by hand / a remote init for
+    'wait' entries)."""
+    from repro.sim.tcpexec import parse_address, worker_main
+
+    host, port = parse_address(args.connect)
+    return worker_main(host, port, shard=args.shard)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="P2PDocTagger command-line interface"
@@ -341,6 +360,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every re-executed delivery and control record",
     )
     p_replay.set_defaults(func=cmd_replay)
+
+    p_worker = subparsers.add_parser(
+        "worker",
+        help="run one tcp shard worker: connect to a coordinator "
+        "(--executor tcp) and execute the window protocol",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's listen address",
+    )
+    p_worker.add_argument(
+        "--shard", type=int, default=-1,
+        help="shard id to claim (-1 lets the coordinator assign one)",
+    )
+    p_worker.set_defaults(func=cmd_worker)
 
     p_overlay = subparsers.add_parser(
         "overlay", help="build an overlay and report routing statistics"

@@ -50,8 +50,11 @@ class SystemConfig:
     #: additionally replays training through the K-shard kernel and verifies
     #: the merged observables are byte-identical to the local run.
     shards: int = 0
-    #: sharded executor ("serial" or "mp"), used when shards >= 1
+    #: sharded executor ("serial", "mp", or "tcp"), used when shards >= 1
     executor: str = "serial"
+    #: tcp executor worker placement spec (see
+    #: repro.sim.tcpexec.parse_hosts); None = spawn local workers
+    tcp_hosts: Optional[str] = None
     #: sharded control plane ("replicated" or "directory"): "directory"
     #: serves overlay snapshots + per-window deltas from one authoritative
     #: control plane so per-worker cost is O(N/K)
@@ -81,7 +84,7 @@ class SystemConfig:
             raise ConfigurationError("threshold must be in [0, 1]")
         if self.shards < 0:
             raise ConfigurationError("shards must be >= 0")
-        if self.executor not in ("serial", "mp"):
+        if self.executor not in ("serial", "mp", "tcp"):
             raise ConfigurationError(f"unknown executor {self.executor!r}")
         if self.control_plane not in ("replicated", "directory"):
             raise ConfigurationError(
@@ -118,6 +121,85 @@ class EvaluationReport:
             f"maxTx={self.max_peer_sent_bytes} maxRx={self.max_peer_received_bytes} "
             f"t={self.virtual_time:.1f}s"
         )
+
+
+def build_classifier(
+    algorithm: str,
+    scenario: Scenario,
+    peer_data: PeerData,
+    tags,
+    seed: int,
+    options: dict,
+) -> P2PTagClassifier:
+    """Construct one algorithm's classifier over a scenario.
+
+    Module-level (rather than a system method) so sharded-training
+    workloads — which must pickle to mp/tcp shard workers — can carry
+    everything a worker needs without referencing the (unpicklable)
+    system object.
+    """
+    if algorithm == "pace":
+        from repro.p2pclass.pace import PaceClassifier, PaceConfig
+
+        config = PaceConfig(seed=seed, **options)
+        return PaceClassifier(scenario, peer_data, tags, config)
+    if algorithm == "cempar":
+        from repro.p2pclass.cempar import CemparClassifier, CemparConfig
+
+        config = CemparConfig(seed=seed, **options)
+        return CemparClassifier(scenario, peer_data, tags, config)
+    if algorithm == "nbagg":
+        from repro.p2pclass.nbagg import NBAggClassifier, NBAggConfig
+
+        config = NBAggConfig(seed=seed, **options)
+        return NBAggClassifier(scenario, peer_data, tags, config)
+    if algorithm == "centralized":
+        from repro.baselines.centralized import (
+            CentralizedConfig,
+            CentralizedTagger,
+        )
+
+        config = CentralizedConfig(seed=seed, **options)
+        return CentralizedTagger(scenario, peer_data, tags, config)
+    if algorithm == "local":
+        from repro.baselines.localonly import LocalOnlyConfig, LocalOnlyTagger
+
+        config = LocalOnlyConfig(seed=seed, **options)
+        return LocalOnlyTagger(scenario, peer_data, tags, config)
+    from repro.baselines.popularity import PopularityTagger
+
+    return PopularityTagger(scenario, peer_data, tags)
+
+
+class _ShardedTrainingWorkload:
+    """The SPMD training workload for sharded verification runs.
+
+    A plain data class (not a closure over the system) so it pickles into
+    mp/tcp shard workers; ``__call__`` rebuilds the classifier against the
+    worker's shard-local scenario and trains it frame-native.
+    """
+
+    def __init__(
+        self, churn: str, peer_data: PeerData, algorithm: str, tags,
+        options: dict, seed: int,
+    ) -> None:
+        self.churn = churn
+        self.peer_data = peer_data
+        self.algorithm = algorithm
+        self.tags = tags
+        self.options = options
+        self.seed = seed
+
+    def __call__(self, scenario: Scenario) -> None:
+        if self.churn != "none":
+            scenario.start_churn()
+        classifier = build_classifier(
+            self.algorithm, scenario, self.peer_data, self.tags,
+            self.seed, self.options,
+        )
+        classifier.scalar_rounds = False
+        classifier.transport.scalar_broadcast = False
+        classifier.train()
 
 
 class P2PDocTaggerPeer:
@@ -285,40 +367,14 @@ class P2PDocTaggerSystem:
         self, peer_data: PeerData, scenario: Optional[Scenario] = None
     ) -> P2PTagClassifier:
         scenario = scenario if scenario is not None else self.scenario
-        algorithm = self.config.algorithm
-        tags = self.corpus.tag_universe()
-        options = dict(self.config.algorithm_options)
-        if algorithm == "pace":
-            from repro.p2pclass.pace import PaceClassifier, PaceConfig
-
-            config = PaceConfig(seed=self.config.seed, **options)
-            return PaceClassifier(scenario, peer_data, tags, config)
-        if algorithm == "cempar":
-            from repro.p2pclass.cempar import CemparClassifier, CemparConfig
-
-            config = CemparConfig(seed=self.config.seed, **options)
-            return CemparClassifier(scenario, peer_data, tags, config)
-        if algorithm == "nbagg":
-            from repro.p2pclass.nbagg import NBAggClassifier, NBAggConfig
-
-            config = NBAggConfig(seed=self.config.seed, **options)
-            return NBAggClassifier(scenario, peer_data, tags, config)
-        if algorithm == "centralized":
-            from repro.baselines.centralized import (
-                CentralizedConfig,
-                CentralizedTagger,
-            )
-
-            config = CentralizedConfig(seed=self.config.seed, **options)
-            return CentralizedTagger(scenario, peer_data, tags, config)
-        if algorithm == "local":
-            from repro.baselines.localonly import LocalOnlyConfig, LocalOnlyTagger
-
-            config = LocalOnlyConfig(seed=self.config.seed, **options)
-            return LocalOnlyTagger(scenario, peer_data, tags, config)
-        from repro.baselines.popularity import PopularityTagger
-
-        return PopularityTagger(scenario, peer_data, tags)
+        return build_classifier(
+            self.config.algorithm,
+            scenario,
+            peer_data,
+            self.corpus.tag_universe(),
+            self.config.seed,
+            dict(self.config.algorithm_options),
+        )
 
     def _register_manual_tags(self) -> None:
         """Training documents appear as manually tagged in each peer's store."""
@@ -376,19 +432,16 @@ class P2PDocTaggerSystem:
             control_plane=self.config.control_plane,
             wal=self.config.wal,
             resume=self.config.resume,
+            tcp_hosts=self.config.tcp_hosts,
         )
-        churn = self.config.churn
-        peer_data = self._peer_data
-        build = self._build_classifier
-
-        def workload(scenario: Scenario) -> None:
-            if churn != "none":
-                scenario.start_churn()
-            classifier = build(peer_data, scenario)
-            classifier.scalar_rounds = False
-            classifier.transport.scalar_broadcast = False
-            classifier.train()
-
+        workload = _ShardedTrainingWorkload(
+            self.config.churn,
+            self._peer_data,
+            self.config.algorithm,
+            self.corpus.tag_universe(),
+            dict(self.config.algorithm_options),
+            self.config.seed,
+        )
         run = ShardedScenario(
             sharded_config, executor=self.config.executor
         ).run(workload)

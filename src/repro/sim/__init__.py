@@ -13,7 +13,13 @@ discrete-event replacement providing the same observables:
 - training-data distribution across peers (:mod:`repro.sim.distribution`),
 - scenario configuration and running (:mod:`repro.sim.scenario`),
 - the sharded event kernel with conservative virtual-time windows
-  (:mod:`repro.sim.shard`), and
+  (:mod:`repro.sim.shard`),
+- the columnar cross-shard exchange frames and rings
+  (:mod:`repro.sim.exchange`),
+- the per-window write-ahead log and prefix replay
+  (:mod:`repro.sim.wal`),
+- the socket executor placing shard workers across machines
+  (:mod:`repro.sim.tcpexec`), and
 - network visualization helpers (:mod:`repro.sim.visualize`).
 """
 

@@ -50,7 +50,7 @@ import os
 import pickle
 import struct
 import time
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, MutableMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -378,6 +378,38 @@ def merge_frames(
         hops[order].tolist(),
     )
     return times, columns
+
+
+def encode_outbound_blobs(
+    outbound: Sequence[Sequence[tuple]],
+    barrier: int,
+    exchange: Optional[MutableMapping[str, int]] = None,
+) -> Tuple[List[Tuple[int, bytes]], float]:
+    """Columnarize and encode one window's outboxes for a byte transport.
+
+    Returns ``(blobs, min_outbound)``: the non-empty outboxes as
+    ``(dst_shard, encoded_frame)`` pairs tagged with ``barrier``, plus the
+    minimum outbound delivery time (``inf`` when the window sent nothing).
+    This is the frame path of the mp channel's ``_ship`` without the ring
+    placement — the tcp executor sends these blobs inside sync messages,
+    and the same bytes are what the WAL logs.  ``exchange`` (a Counter) is
+    credited identically to the mp path so stats merge byte-equal.
+    """
+    blobs: List[Tuple[int, bytes]] = []
+    min_outbound = float("inf")
+    for dst_shard, box in enumerate(outbound):
+        if not box:
+            continue
+        frame = ExchangeFrame.from_records(box)
+        min_outbound = min(min_outbound, frame.min_time)
+        blob = frame.encode(barrier)
+        if exchange is not None:
+            exchange["frames"] += 1
+            exchange["records"] += frame.count
+            exchange["encoded_bytes"] += len(blob)
+            exchange["pickled_records"] += frame.payload_count
+        blobs.append((dst_shard, blob))
+    return blobs, min_outbound
 
 
 # ---------------------------------------------------------------------------

@@ -62,8 +62,20 @@ class ScenarioConfig:
     #: advanced in conservative virtual-time windows).
     shards: int = 0
     #: sharded executor: "serial" (lockstep in one process, the
-    #: deterministic reference) or "mp" (one worker process per shard).
+    #: deterministic reference), "mp" (one worker process per shard), or
+    #: "tcp" (a coordinator plus socket-connected workers, possibly on
+    #: other machines — repro.sim.tcpexec).
     executor: str = "serial"
+    #: tcp executor: the coordinator's bind address (port 0 = ephemeral,
+    #: the default for localhost test fleets) ...
+    tcp_host: str = "127.0.0.1"
+    tcp_port: int = 0
+    #: ... and worker placement: a comma-separated spec with one entry per
+    #: shard (or one entry for all) — "local" spawns `repro worker`
+    #: subprocesses here, "wait" expects externally launched workers to
+    #: connect in, "ssh:HOST" spawns them over ssh.  Like wal/resume this
+    #: is plumbing, not physics: excluded from the WAL config fingerprint.
+    tcp_hosts: Optional[str] = None
     #: sharded control plane: "replicated" (every worker replays churn
     #: timelines and overlay maintenance for all N peers — the PR 4 SPMD
     #: scheme) or "directory" (one authoritative control plane owns them,
@@ -91,8 +103,21 @@ class ScenarioConfig:
             raise ConfigurationError(f"unknown codec {self.codec!r}")
         if self.rng_mode not in ("stream", "perpeer"):
             raise ConfigurationError(f"unknown rng_mode {self.rng_mode!r}")
-        if self.executor not in ("serial", "mp"):
+        if self.executor not in ("serial", "mp", "tcp"):
             raise ConfigurationError(f"unknown executor {self.executor!r}")
+        if not 0 <= self.tcp_port <= 65535:
+            raise ConfigurationError(
+                f"tcp_port must be in [0, 65535], got {self.tcp_port}"
+            )
+        if self.tcp_hosts is not None:
+            entries = [e.strip() for e in self.tcp_hosts.split(",")]
+            for entry in entries:
+                if entry in ("local", "wait") or entry.startswith("ssh:"):
+                    continue
+                raise ConfigurationError(
+                    f"unknown tcp hosts entry {entry!r}; expected 'local', "
+                    "'wait', or 'ssh:HOST'"
+                )
         if self.control_plane not in ("replicated", "directory"):
             raise ConfigurationError(
                 f"unknown control plane {self.control_plane!r}"

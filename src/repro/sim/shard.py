@@ -1672,11 +1672,12 @@ class ShardedRun:
 
 
 class ShardedScenario:
-    """K-shard execution harness behind one API for both executors.
+    """K-shard execution harness behind one API for every executor.
 
     ``run(workload)`` executes the SPMD ``workload(scenario)`` callable on
-    every shard worker (serial threads or forked processes per
-    ``executor``), merges the per-shard :class:`StatsCollector`s in shard
+    every shard worker (serial threads, forked processes, or tcp-connected
+    workers per ``executor``), merges the per-shard
+    :class:`StatsCollector`s in shard
     order, and agrees the final virtual clock — producing observables
     byte-identical to the unsharded kernel running the same config.
     """
@@ -1691,7 +1692,7 @@ class ShardedScenario:
             )
         self.config = config
         self.executor = executor if executor is not None else config.executor
-        if self.executor not in ("serial", "mp"):
+        if self.executor not in ("serial", "mp", "tcp"):
             raise ConfigurationError(f"unknown executor {self.executor!r}")
         self.lookahead = compute_lookahead(
             LatencyModel(
@@ -1703,7 +1704,14 @@ class ShardedScenario:
         )
 
     def run(self, workload: Workload) -> ShardedRun:
-        runner = _run_serial if self.executor == "serial" else _run_mp
+        if self.executor == "tcp":
+            # Socket executor lives in its own module; imported lazily so
+            # serial/mp runs never touch it.
+            from repro.sim.tcpexec import run_tcp
+
+            runner = run_tcp
+        else:
+            runner = _run_serial if self.executor == "serial" else _run_mp
         plane = (
             DirectoryControlPlane(self.config)
             if self.config.control_plane == "directory"

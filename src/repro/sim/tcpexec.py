@@ -1,0 +1,881 @@
+"""The tcp shard executor: the window protocol over socket frames.
+
+The mp executor (:func:`repro.sim.shard._run_mp`) caps out at one box —
+its control pipes and shared-memory rings need a common kernel.  This
+module runs the *same* barrier protocol between a **coordinator** (the
+process that owns the :class:`~repro.sim.shard.ShardedScenario`) and K
+**workers** connected over TCP, so shards can live on other machines
+while every observable stays byte-identical to serial/mp (the
+equivalence fuzz in ``tests/test_shard_equivalence.py`` proves it over
+localhost).
+
+Wire model
+----------
+
+Everything rides length-prefixed frames — ``(magic, kind, length)``
+header (:data:`_WIRE_HEADER`) + payload — over one connection per
+worker:
+
+- **handshake**: the worker sends ``HELLO`` (protocol version + shard-id
+  claim, JSON); the coordinator answers ``WELCOME`` (assigned shard, the
+  scenario's config fingerprint, the coordinator's ``sys.path`` so
+  workload classes pickled into the job resolve worker-side) and the
+  pickled ``JOB`` (config, workload, lookahead, overlay snapshot, WAL
+  cadence); the worker confirms with ``READY`` carrying the fingerprint
+  it computed from the job it actually received.  A version or
+  fingerprint mismatch is a loud :class:`SimulationError` — a skewed
+  fleet must never reach the first window.  A duplicate (or out-of-
+  range) shard claim gets an ``ERROR`` frame and its connection closed;
+  the slot stays open for the real worker.
+- **barriers**: each worker ``SYNC`` carries its window status plus the
+  window's outboxes already encoded as :class:`ExchangeFrame` blobs (the
+  PR 6 ``SoA1`` wire format, byte-for-byte — the same blobs the mp rings
+  carry and the WAL logs).  The coordinator routes blobs between workers
+  and answers per-shard ``DECISION`` frames (window start, inbound blobs
+  in src-shard order, directory control records).  There is no
+  worker-to-worker connection: the coordinator is the exchange fabric.
+- **completion**: ``DONE`` returns the worker's payload (stats, clock,
+  result, WAL tail); ``BYE`` releases the worker once results landed.
+
+Robustness: :func:`connect_with_retry` retries the coordinator
+connection on a capped exponential backoff (``REPRO_TCP_RETRIES``
+attempts), and every read carries the ``REPRO_TCP_TIMEOUT_S`` deadline —
+a worker that dies mid-window (or a half-open peer) surfaces as a loud
+``worker N died mid-window`` :class:`SimulationError` at the next read,
+never a hang, and the coordinator aborts the rest of the fleet and tears
+down every socket and spawned process on any failure.
+
+The WAL integrates unchanged: the coordinator owns the log
+(:class:`~repro.sim.wal.WalSession` never leaves its process), workers
+ship their probe blobs inside syncs, and the frame blobs the coordinator
+routes are exactly the bytes the log records — so checkpoint/resume
+works with remote workers, and a tcp log resumes under serial/mp and
+vice versa (``executor`` and the tcp plumbing fields are excluded from
+the config fingerprint).
+
+Scalar exchange (``REPRO_SCALAR_EXCHANGE=1``) is rejected: like the WAL,
+the tcp wire carries columnar frames only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import time
+import traceback
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.envutil import env_float, env_int
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.exchange import ExchangeFrame, encode_outbound_blobs
+from repro.sim.wal import config_fingerprint
+
+_INF = float("inf")
+
+PROTOCOL_VERSION = 1
+
+_WIRE_MAGIC = 0x52545031  # "RTP1"
+#: magic, kind, payload length
+_WIRE_HEADER = struct.Struct("<IBI")
+#: refuse to allocate for absurd lengths — a garbage header must be
+#: rejected loudly, not honoured with a gigabyte read
+_MAX_FRAME = 1 << 30
+
+_K_HELLO = 1
+_K_WELCOME = 2
+_K_JOB = 3
+_K_READY = 4
+_K_SYNC = 5
+_K_DECISION = 6
+_K_DONE = 7
+_K_ERROR = 8
+_K_ABORT = 9
+_K_BYE = 10
+
+TCP_TIMEOUT_ENV = "REPRO_TCP_TIMEOUT_S"
+TCP_RETRIES_ENV = "REPRO_TCP_RETRIES"
+
+
+def tcp_timeout_seconds() -> float:
+    """Per-read socket deadline (and the fleet-assembly deadline): how
+    long any endpoint waits on a peer before declaring it dead."""
+    return env_float(
+        TCP_TIMEOUT_ENV, 60.0, exclusive_minimum=0.0, error=SimulationError
+    )
+
+
+def tcp_retries() -> int:
+    """Connection attempts a worker makes before giving up (>= 1)."""
+    return env_int(TCP_RETRIES_ENV, 8, minimum=1, error=SimulationError)
+
+
+def backoff_schedule(
+    retries: int, base: float = 0.05, cap: float = 1.0
+) -> List[float]:
+    """The capped-exponential sleep schedule between connection attempts:
+    ``base * 2^i`` clamped to ``cap``, one entry per retry gap."""
+    return [min(cap, base * (2.0 ** i)) for i in range(max(0, retries - 1))]
+
+
+def fingerprint_digest(config: Any) -> str:
+    """Hex digest of the scenario-identity fields a tcp fleet must agree
+    on — the WAL's :func:`config_fingerprint` dict, canonically encoded.
+    Exchanged at handshake so a worker running a different scenario (or a
+    different code revision's idea of one) fails before the first window.
+    """
+    blob = json.dumps(
+        config_fingerprint(config), sort_keys=True, default=repr
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) to a connect/bind address."""
+    host, _, port = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid tcp address {spec!r}; expected HOST:PORT"
+        ) from None
+
+
+def parse_hosts(spec: Optional[str], num_shards: int) -> List[str]:
+    """The per-shard worker placement list from a ``--hosts`` spec.
+
+    Comma-separated entries, one per shard (a single entry applies to
+    every shard): ``local`` spawns a ``repro worker`` subprocess on this
+    machine, ``wait`` expects a worker launched elsewhere (another box, a
+    terminal, a test) to connect in, ``ssh:HOST`` spawns the worker over
+    ssh against the coordinator's bind address.
+    """
+    if spec is None or not spec.strip():
+        entries = ["local"]
+    else:
+        entries = [entry.strip() for entry in spec.split(",")]
+    if any(not entry for entry in entries):
+        raise ConfigurationError(
+            f"tcp hosts spec {spec!r} has an empty entry"
+        )
+    for entry in entries:
+        if entry not in ("local", "wait") and not entry.startswith("ssh:"):
+            raise ConfigurationError(
+                f"unknown tcp hosts entry {entry!r}; expected 'local', "
+                "'wait', or 'ssh:HOST'"
+            )
+    if len(entries) == 1:
+        entries = entries * num_shards
+    if len(entries) != num_shards:
+        raise ConfigurationError(
+            f"tcp hosts spec names {len(entries)} workers but the run has "
+            f"{num_shards} shards (give one entry, or exactly one per shard)"
+        )
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Frame I/O.
+# ---------------------------------------------------------------------------
+
+
+def _configure(sock: socket.socket, timeout: float) -> socket.socket:
+    sock.settimeout(timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - stacks without TCP_NODELAY
+        pass
+    return sock
+
+
+def send_frame(sock: socket.socket, kind: int, payload: bytes = b"") -> None:
+    """One length-prefixed frame, written whole."""
+    sock.sendall(
+        _WIRE_HEADER.pack(_WIRE_MAGIC, kind, len(payload)) + payload
+    )
+
+
+def _read_exactly(sock: socket.socket, count: int, context: str) -> bytes:
+    """Read ``count`` bytes or die loudly: EOF and the socket deadline
+    both mean the peer is gone (dead process or half-open connection)."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            raise SimulationError(
+                f"{context}: no data within the {sock.gettimeout():.0f}s "
+                f"deadline ({TCP_TIMEOUT_ENV})"
+            ) from None
+        except OSError as exc:
+            raise SimulationError(f"{context}: connection lost ({exc})") from None
+        if not chunk:
+            raise SimulationError(
+                f"{context}: connection closed "
+                f"({count - remaining} of {count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, context: str) -> Tuple[int, bytes]:
+    """Read one frame; a bad magic or absurd length is a protocol error
+    (garbage on the port), truncation/timeout a dead peer."""
+    header = _read_exactly(sock, _WIRE_HEADER.size, context)
+    magic, kind, length = _WIRE_HEADER.unpack(header)
+    if magic != _WIRE_MAGIC:
+        raise SimulationError(
+            f"{context}: bad frame magic 0x{magic:08x} "
+            "(not a repro tcp peer)"
+        )
+    if length > _MAX_FRAME:
+        raise SimulationError(
+            f"{context}: frame length {length} exceeds the "
+            f"{_MAX_FRAME}-byte cap (corrupt header)"
+        )
+    return kind, _read_exactly(sock, length, context)
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> socket.socket:
+    """Dial the coordinator, retrying refused/unreachable connections on
+    the capped backoff schedule — workers routinely start before the
+    coordinator's listener is up."""
+    retries = tcp_retries() if retries is None else retries
+    timeout = tcp_timeout_seconds() if timeout is None else timeout
+    delays = backoff_schedule(retries)
+    last_error: Optional[OSError] = None
+    for attempt in range(retries):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            last_error = exc
+            if attempt < len(delays):
+                time.sleep(delays[attempt])
+            continue
+        return _configure(sock, timeout)
+    raise SimulationError(
+        f"could not connect to the tcp coordinator at {host}:{port} after "
+        f"{retries} attempts ({TCP_RETRIES_ENV}); last error: {last_error}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker endpoint.
+# ---------------------------------------------------------------------------
+
+
+class _TcpChannel:
+    """Worker-side barrier endpoint: syncs up, decisions down, exchange
+    frames riding both as encoded blobs (the coordinator routes them)."""
+
+    def __init__(
+        self, sock: socket.socket, shard_id: int, num_shards: int
+    ) -> None:
+        self.exchange = Counter()
+        self.sock = sock
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self._barrier = 0
+
+    def sync(
+        self, outbound, next_time, last_time, executed, requests, extras=None
+    ):
+        from repro.sim.shard import _Decision
+
+        barrier = self._barrier
+        self._barrier += 1
+        blobs, min_outbound = encode_outbound_blobs(
+            outbound, barrier, self.exchange
+        )
+        send_frame(
+            self.sock,
+            _K_SYNC,
+            pickle.dumps(
+                (next_time, last_time, executed, min_outbound, requests,
+                 extras, blobs),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
+        )
+        kind, payload = recv_frame(
+            self.sock,
+            f"shard {self.shard_id} waiting for the window decision at "
+            f"barrier {barrier}",
+        )
+        if kind == _K_ABORT:
+            return _Decision(error=payload.decode("utf-8", "replace"))
+        if kind != _K_DECISION:
+            raise SimulationError(
+                f"shard {self.shard_id}: expected a decision frame at "
+                f"barrier {barrier}, got kind {kind}"
+            )
+        window_start, global_last, total_executed, inbound, control = (
+            pickle.loads(payload)
+        )
+        inbox: List[ExchangeFrame] = []
+        for src_shard, blob in inbound:
+            frame, frame_barrier = ExchangeFrame.decode(blob)
+            if frame_barrier != barrier:
+                raise SimulationError(
+                    f"shard {self.shard_id}: exchange frame from shard "
+                    f"{src_shard} tagged barrier {frame_barrier}, "
+                    f"expected {barrier}"
+                )
+            inbox.append(frame)
+        return _Decision(
+            window_start=window_start,
+            global_last=global_last,
+            total_executed=total_executed,
+            inbox=inbox,
+            control=control,
+        )
+
+    def finish(self, payload: Any) -> None:
+        send_frame(
+            self.sock,
+            _K_DONE,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def fail(self, message: str) -> None:
+        send_frame(self.sock, _K_ERROR, message.encode("utf-8"))
+
+    def _frames_from_outbound(self, outbound):  # pragma: no cover
+        # _Channel API parity; the tcp channel always encodes to blobs.
+        raise NotImplementedError
+
+
+def worker_main(
+    host: str,
+    port: int,
+    shard: int = -1,
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> int:
+    """One tcp shard worker: connect, handshake, run the window protocol.
+
+    The ``repro worker`` CLI entry point; exit code 0 on a clean run (the
+    coordinator's BYE, or its disappearance after our DONE landed), 1 on
+    any failure — which is also reported to the coordinator as an ERROR
+    frame when the socket still stands.
+    """
+    sock = connect_with_retry(host, port, retries=retries, timeout=timeout)
+    try:
+        send_frame(
+            sock,
+            _K_HELLO,
+            json.dumps(
+                {"version": PROTOCOL_VERSION, "shard": shard}
+            ).encode("utf-8"),
+        )
+        context = f"worker (claiming shard {shard}) awaiting welcome"
+        kind, payload = recv_frame(sock, context)
+        if kind == _K_ERROR:
+            raise SimulationError(
+                "tcp coordinator rejected this worker: "
+                + payload.decode("utf-8", "replace")
+            )
+        if kind != _K_WELCOME:
+            raise SimulationError(f"{context}: unexpected frame kind {kind}")
+        welcome = json.loads(payload.decode("utf-8"))
+        if welcome.get("version") != PROTOCOL_VERSION:
+            message = (
+                f"tcp protocol version mismatch: coordinator speaks "
+                f"{welcome.get('version')}, this worker speaks "
+                f"{PROTOCOL_VERSION}"
+            )
+            send_frame(sock, _K_ERROR, message.encode("utf-8"))
+            raise SimulationError(message)
+        shard_id = int(welcome["shard"])
+        # The coordinator's import roots: workload/config classes pickled
+        # into the job must resolve here even when this worker was started
+        # bare (test fixtures, bench modules).  Appended, never prepended —
+        # the worker's own environment wins on conflicts.
+        for entry in welcome.get("sys_path", ()):
+            if entry and entry not in sys.path:
+                sys.path.append(entry)
+        kind, payload = recv_frame(
+            sock, f"worker (shard {shard_id}) awaiting job"
+        )
+        if kind != _K_JOB:
+            raise SimulationError(
+                f"worker (shard {shard_id}): expected the job frame, "
+                f"got kind {kind}"
+            )
+        job = pickle.loads(payload)
+        fingerprint = fingerprint_digest(job["config"])
+        if fingerprint != welcome.get("fingerprint"):
+            message = (
+                f"config fingerprint mismatch: coordinator announced "
+                f"{welcome.get('fingerprint')}, the job decodes to "
+                f"{fingerprint} — coordinator and worker disagree about "
+                "the scenario (code revision skew?)"
+            )
+            send_frame(sock, _K_ERROR, message.encode("utf-8"))
+            raise SimulationError(message)
+        send_frame(
+            sock,
+            _K_READY,
+            json.dumps(
+                {"shard": shard_id, "fingerprint": fingerprint}
+            ).encode("utf-8"),
+        )
+
+        from repro.sim.shard import _ShardRuntime, _worker_body
+
+        channel = _TcpChannel(sock, shard_id, job["num_shards"])
+        try:
+            runtime = _ShardRuntime(
+                shard_id,
+                job["num_shards"],
+                channel,
+                job["lookahead"],
+                snapshot=job.get("snapshot"),
+            )
+            channel.finish(
+                _worker_body(
+                    job["config"], job["workload"], runtime,
+                    job.get("wal_cadence", 0),
+                )
+            )
+        except BaseException:
+            try:
+                channel.fail(traceback.format_exc())
+            except Exception:
+                pass
+            return 1
+        try:
+            # The coordinator's BYE confirms the results landed; its
+            # disappearance after our DONE is equally fine.
+            recv_frame(sock, f"worker (shard {shard_id}) awaiting bye")
+        except SimulationError:
+            pass
+        return 0
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close races
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator.
+# ---------------------------------------------------------------------------
+
+
+class TcpCoordinator:
+    """The listening side of a tcp run: spawns/accepts K workers, drives
+    the barrier loop, routes exchange blobs, owns the directory plane and
+    the WAL — the :func:`repro.sim.shard._run_mp` control flow with the
+    pipes and rings replaced by one socket per worker."""
+
+    def __init__(
+        self,
+        config: Any,
+        num_shards: int,
+        lookahead: float,
+        plane: Any = None,
+        wal: Any = None,
+    ) -> None:
+        self.config = config
+        self.num_shards = num_shards
+        self.lookahead = lookahead
+        self.plane = plane
+        self.wal = wal
+        self.timeout = tcp_timeout_seconds()
+        self.hosts = parse_hosts(
+            getattr(config, "tcp_hosts", None), num_shards
+        )
+        self.listener: Optional[socket.socket] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.connections: List[Optional[socket.socket]] = (
+            [None] * num_shards
+        )
+        self.processes: List[Tuple[int, subprocess.Popen]] = []
+        #: connections refused during assembly (garbage, duplicate claims)
+        self.rejected = 0
+
+    # -- fleet assembly ------------------------------------------------------
+
+    def bind(self) -> Tuple[str, int]:
+        """Open the listener; returns the bound (host, port) — resolved
+        even when ``tcp_port=0`` asked for an ephemeral port."""
+        if self.listener is not None:
+            return self.address
+        host = getattr(self.config, "tcp_host", "127.0.0.1") or "127.0.0.1"
+        port = getattr(self.config, "tcp_port", 0) or 0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(self.num_shards + 4)
+        self.listener = listener
+        self.address = listener.getsockname()[:2]
+        return self.address
+
+    def _worker_command(self, shard_id: int) -> List[str]:
+        host, port = self.address
+        return [
+            "-m", "repro.cli", "worker",
+            "--connect", f"{host}:{port}",
+            "--shard", str(shard_id),
+        ]
+
+    def _spawn_workers(self) -> None:
+        for shard_id, entry in enumerate(self.hosts):
+            if entry == "wait":
+                continue
+            if entry == "local":
+                env = dict(os.environ)
+                env["PYTHONPATH"] = os.pathsep.join(
+                    dict.fromkeys(self._sys_path())
+                )
+                process = subprocess.Popen(
+                    [sys.executable] + self._worker_command(shard_id),
+                    env=env,
+                )
+            else:  # ssh:HOST — the remote python must have repro installed
+                process = subprocess.Popen(
+                    ["ssh", entry[len("ssh:"):], "python3"]
+                    + self._worker_command(shard_id)
+                )
+            self.processes.append((shard_id, process))
+
+    @staticmethod
+    def _sys_path() -> List[str]:
+        return [entry or os.getcwd() for entry in sys.path]
+
+    def _check_spawned(self, unclaimed: set) -> None:
+        for shard_id, process in self.processes:
+            code = process.poll()
+            if code is not None and code != 0 and shard_id in unclaimed:
+                raise SimulationError(
+                    f"tcp worker process for shard {shard_id} exited with "
+                    f"code {code} before completing its handshake"
+                )
+
+    def _accept_workers(self, job_blob: bytes, fingerprint: str) -> None:
+        unclaimed = set(range(self.num_shards))
+        sys_path = self._sys_path()
+        deadline = time.monotonic() + self.timeout
+        self.listener.settimeout(0.2)
+        while unclaimed:
+            self._check_spawned(unclaimed)
+            if time.monotonic() > deadline:
+                raise SimulationError(
+                    f"tcp coordinator timed out after {self.timeout:.0f}s "
+                    f"({TCP_TIMEOUT_ENV}) waiting for workers to claim "
+                    f"shards {sorted(unclaimed)}"
+                )
+            try:
+                conn, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            _configure(conn, self.timeout)
+            self._handshake(conn, unclaimed, job_blob, fingerprint, sys_path)
+
+    def _reject(self, conn: socket.socket, message: Optional[str]) -> None:
+        if message is not None:
+            try:
+                send_frame(conn, _K_ERROR, message.encode("utf-8"))
+            except OSError:
+                pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close races
+            pass
+        self.rejected += 1
+
+    def _handshake(
+        self,
+        conn: socket.socket,
+        unclaimed: set,
+        job_blob: bytes,
+        fingerprint: str,
+        sys_path: List[str],
+    ) -> None:
+        context = "tcp coordinator handshaking a new connection"
+        try:
+            kind, payload = recv_frame(conn, context)
+            hello = json.loads(payload.decode("utf-8"))
+        except (SimulationError, ValueError, UnicodeDecodeError):
+            # Garbage, truncation, or silence: not a worker — drop the
+            # connection, keep the slot open.
+            self._reject(conn, None)
+            return
+        if kind != _K_HELLO or not isinstance(hello, dict):
+            self._reject(conn, "expected a HELLO frame")
+            return
+        version = hello.get("version")
+        if version != PROTOCOL_VERSION:
+            message = (
+                f"tcp protocol version mismatch: worker speaks {version}, "
+                f"coordinator speaks {PROTOCOL_VERSION}"
+            )
+            self._reject(conn, message)
+            raise SimulationError(message)
+        claim = int(hello.get("shard", -1))
+        if claim == -1 and unclaimed:
+            claim = min(unclaimed)
+        if claim not in unclaimed:
+            self._reject(
+                conn,
+                f"shard id {claim} is already claimed or out of range "
+                f"(open slots: {sorted(unclaimed)})",
+            )
+            return
+        send_frame(
+            conn,
+            _K_WELCOME,
+            json.dumps(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "shard": claim,
+                    "fingerprint": fingerprint,
+                    "sys_path": sys_path,
+                }
+            ).encode("utf-8"),
+        )
+        send_frame(conn, _K_JOB, job_blob)
+        context = f"tcp coordinator awaiting READY from shard {claim}"
+        kind, payload = recv_frame(conn, context)
+        if kind == _K_ERROR:
+            raise SimulationError(
+                f"tcp worker for shard {claim} failed its handshake: "
+                + payload.decode("utf-8", "replace")
+            )
+        if kind != _K_READY:
+            self._reject(conn, f"expected READY, got frame kind {kind}")
+            return
+        ready = json.loads(payload.decode("utf-8"))
+        if ready.get("fingerprint") != fingerprint:
+            message = (
+                f"config fingerprint mismatch: worker for shard {claim} "
+                f"computed {ready.get('fingerprint')}, coordinator has "
+                f"{fingerprint} — the fleet disagrees about the scenario"
+            )
+            self._reject(conn, message)
+            raise SimulationError(message)
+        unclaimed.discard(claim)
+        self.connections[claim] = conn
+
+    # -- the barrier loop ----------------------------------------------------
+
+    def run(self, workload: Any) -> Tuple[List[tuple], int]:
+        """Assemble the fleet and drive the run; mirrors ``_run_mp``'s
+        coordinator loop message for message."""
+        self.bind()
+        wal = self.wal
+        plane = self.plane
+        num_shards = self.num_shards
+        job_blob = pickle.dumps(
+            {
+                "config": self.config,
+                "workload": workload,
+                "num_shards": num_shards,
+                "lookahead": self.lookahead,
+                "snapshot": plane.snapshot if plane is not None else None,
+                "wal_cadence": wal.cursor_every if wal is not None else 0,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fingerprint = fingerprint_digest(self.config)
+        payloads: List[Optional[tuple]] = [None] * num_shards
+        windows = 0
+        try:
+            self._spawn_workers()
+            self._accept_workers(job_blob, fingerprint)
+            while True:
+                round_messages: Dict[int, Tuple[int, Any]] = {}
+                for shard_id, conn in enumerate(self.connections):
+                    try:
+                        kind, payload = recv_frame(
+                            conn,
+                            f"tcp coordinator waiting on shard {shard_id} "
+                            f"at barrier {windows}",
+                        )
+                    except SimulationError as exc:
+                        kind, payload = _K_ERROR, (
+                            f"worker {shard_id} died mid-window "
+                            f"(no sync/done/error message: {exc})"
+                        ).encode("utf-8")
+                    if kind not in (_K_SYNC, _K_DONE, _K_ERROR):
+                        kind, payload = _K_ERROR, (
+                            f"worker {shard_id} sent unexpected frame kind "
+                            f"{kind} at barrier {windows}"
+                        ).encode("utf-8")
+                    round_messages[shard_id] = (kind, payload)
+                kinds = {kind for kind, _ in round_messages.values()}
+                if _K_ERROR in kinds:
+                    failure = next(
+                        payload.decode("utf-8", "replace")
+                        for kind, payload in round_messages.values()
+                        if kind == _K_ERROR
+                    )
+                    self._abort_synced(round_messages, failure)
+                    raise SimulationError(
+                        f"tcp shard worker failed:\n{failure}"
+                    )
+                if kinds == {_K_DONE}:
+                    for shard_id, (_, payload) in round_messages.items():
+                        payloads[shard_id] = pickle.loads(payload)
+                    break
+                if kinds != {_K_SYNC}:
+                    failure = (
+                        "shard workers diverged (mixed done/sync at one "
+                        "barrier)"
+                    )
+                    self._abort_synced(round_messages, failure)
+                    raise SimulationError(failure)
+
+                statuses = [
+                    pickle.loads(round_messages[shard_id][1])
+                    for shard_id in range(num_shards)
+                ]
+                all_requests = []
+                wal_statuses = []
+                blob_grid: List[Dict[int, bytes]] = []
+                frame_blobs: Dict[Tuple[int, int], bytes] = {}
+                window_start = _INF
+                global_last = -_INF
+                total_executed = 0
+                for shard_id, status in enumerate(statuses):
+                    (next_time, last_time, executed, min_outbound, requests,
+                     extras, blobs) = status
+                    window_start = min(window_start, next_time, min_outbound)
+                    global_last = max(global_last, last_time)
+                    total_executed += executed
+                    all_requests.append(requests)
+                    blob_grid.append(dict(blobs))
+                    if wal is not None:
+                        wal_statuses.append(
+                            (next_time, last_time, executed, requests, extras)
+                        )
+                        for dst_shard, blob in blobs:
+                            frame_blobs[(shard_id, dst_shard)] = blob
+                control: List[tuple] = []
+                if plane is not None:
+                    from repro.sim.shard import _agreed_requests
+
+                    plane.handle_requests(_agreed_requests(all_requests))
+                    window_start = min(window_start, plane.next_time())
+                    if window_start != _INF:
+                        control = plane.advance(window_start + self.lookahead)
+                if wal is not None:
+                    try:
+                        wal.on_window(
+                            barrier=windows,
+                            window_start=window_start,
+                            global_last=global_last,
+                            total_executed=total_executed,
+                            statuses=wal_statuses,
+                            frames=frame_blobs,
+                            control=control,
+                        )
+                    except SimulationError as exc:
+                        self._abort_all(str(exc))
+                        raise
+                windows += 1
+                for shard_id in range(num_shards):
+                    inbound = [
+                        (src_shard, blob_grid[src_shard][shard_id])
+                        for src_shard in range(num_shards)
+                        if shard_id in blob_grid[src_shard]
+                    ]
+                    decision = pickle.dumps(
+                        (window_start, global_last, total_executed, inbound,
+                         control),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    try:
+                        send_frame(
+                            self.connections[shard_id], _K_DECISION, decision
+                        )
+                    except OSError:
+                        # The worker died after syncing; its next read slot
+                        # surfaces the loud died-mid-window error.
+                        pass
+        finally:
+            self.close()
+        return payloads, windows
+
+    def _abort_synced(
+        self, round_messages: Dict[int, Tuple[int, Any]], failure: str
+    ) -> None:
+        for shard_id, (kind, _) in round_messages.items():
+            if kind == _K_SYNC:
+                try:
+                    send_frame(
+                        self.connections[shard_id], _K_ABORT,
+                        failure.encode("utf-8"),
+                    )
+                except OSError:
+                    pass
+
+    def _abort_all(self, failure: str) -> None:
+        for conn in self.connections:
+            if conn is not None:
+                try:
+                    send_frame(conn, _K_ABORT, failure.encode("utf-8"))
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        """Full teardown: release every worker, close every socket, reap
+        every spawned process — no orphan sockets, no zombie workers."""
+        for conn in self.connections:
+            if conn is not None:
+                try:
+                    send_frame(conn, _K_BYE)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close races
+                    pass
+        if self.listener is not None:
+            try:
+                self.listener.close()
+            except OSError:  # pragma: no cover - close races
+                pass
+        for _shard_id, process in self.processes:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung worker
+                process.terminate()
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+
+
+def run_tcp(
+    config: Any,
+    workload: Any,
+    num_shards: int,
+    lookahead: float,
+    plane: Any = None,
+    use_frames: bool = True,
+    wal: Any = None,
+) -> Tuple[List[tuple], int]:
+    """The ``executor="tcp"`` runner (the :func:`_run_mp` signature)."""
+    if not use_frames:
+        raise ConfigurationError(
+            "the tcp executor ships columnar exchange frames as its wire "
+            "payload; it cannot run with REPRO_SCALAR_EXCHANGE=1"
+        )
+    return TcpCoordinator(
+        config, num_shards, lookahead, plane=plane, wal=wal
+    ).run(workload)

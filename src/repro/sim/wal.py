@@ -85,12 +85,14 @@ def config_fingerprint(config: Any) -> Dict[str, Any]:
     """The scenario-identity fields a WAL is bound to.
 
     Everything that shapes the event stream participates; ``wal``/
-    ``resume`` (log plumbing, not physics) and ``executor`` (serial and
-    mp runs are byte-equivalent, so cross-executor resume is legal) are
-    excluded.
+    ``resume`` (log plumbing, not physics), ``executor`` (serial, mp, and
+    tcp runs are byte-equivalent, so cross-executor resume is legal), and
+    the tcp placement fields (where workers run, not what they compute)
+    are excluded.
     """
     fields = asdict(config)
-    for key in ("wal", "resume", "executor"):
+    for key in ("wal", "resume", "executor", "tcp_host", "tcp_port",
+                "tcp_hosts"):
         fields.pop(key, None)
     return fields
 

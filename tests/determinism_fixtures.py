@@ -212,23 +212,32 @@ def digest_of(stats, now: float) -> str:
     return scenario_digest(stats, now)
 
 
-def training_workload(protocol: str, variant: str, codec: str = "identity"):
+class TrainingWorkload:
     """SPMD workload: build and train one classifier on a (shard) scenario.
 
     Runs identically in every shard worker and on the unsharded kernel —
-    the differential suites compare the resulting digests.
+    the differential suites compare the resulting digests.  A class (not a
+    closure) so the tcp executor can pickle it into worker processes.
     """
 
-    def workload(scenario: Scenario):
-        if variant == "churn":
+    def __init__(self, protocol: str, variant: str, codec: str = "identity"):
+        self.protocol = protocol
+        self.variant = variant
+        self.codec = codec
+
+    def __call__(self, scenario: Scenario):
+        if self.variant == "churn":
             scenario.start_churn()
-        classifier = build_classifier(protocol, scenario)
+        classifier = build_classifier(self.protocol, scenario)
         classifier.scalar_rounds = False
         classifier.transport.scalar_broadcast = False
         classifier.train()
         return None
 
-    return workload
+
+def training_workload(protocol: str, variant: str, codec: str = "identity"):
+    """Picklable SPMD training workload (see :class:`TrainingWorkload`)."""
+    return TrainingWorkload(protocol, variant, codec)
 
 
 def run_training_perpeer(

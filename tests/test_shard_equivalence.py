@@ -12,7 +12,10 @@ The sample is drawn from a fixed seed so the matrix is stable across runs
 (a failure always reproduces); widening the space only requires bumping
 ``FUZZ_CASES``.  The mp leg runs a deterministic subset in tier-1 (process
 startup dominates its cost) and the whole matrix in the nightly job
-(``REPRO_SHARD_MP_FULL=1``).
+(``REPRO_SHARD_MP_FULL=1``); the tcp leg (socket-connected worker fleets
+over localhost, :mod:`repro.sim.tcpexec`) likewise runs a subset in tier-1
+and its full matrix under ``REPRO_SHARD_TCP_FULL=1``, plus a golden smoke
+against the checked-in sharded digests.
 
 Also here: algebraic property tests for :meth:`StatsCollector.merge`
 (commutativity / associativity / identity, including the wire-byte
@@ -53,6 +56,15 @@ DIRECTORY_SHARD_COUNTS = (1, 2, 4, 8, 16)
 MP_SUBSET = 6
 DIRECTORY_MP_SUBSET = 3
 MP_FULL_ENV = "REPRO_SHARD_MP_FULL"
+
+#: the tcp-executor leg (PR 8): localhost worker fleets over overlay ×
+#: protocol × control-plane × codec × K ∈ {1, 2, 4}.  Worker startup is a
+#: whole interpreter (not a fork), so tier-1 runs a small subset and the
+#: nightly job the full matrix (``REPRO_SHARD_TCP_FULL=1``).
+TCP_FUZZ_CASES = 12
+TCP_SUBSET = 4
+TCP_SHARD_COUNTS = (1, 2, 4)
+TCP_FULL_ENV = "REPRO_SHARD_TCP_FULL"
 
 
 def _sample_cases(count=FUZZ_CASES, shard_counts=SHARD_COUNTS, salt=0):
@@ -180,6 +192,117 @@ def test_fuzz_matrix_covers_every_axis():
     assert variants == set(VARIANTS)
     assert codecs == set(CODECS)
     assert counts == set(SHARD_COUNTS)
+
+
+# ---------------------------------------------------------------------------
+# The tcp executor: the same byte-identity contract with workers running as
+# socket-connected processes behind a coordinator (localhost fleets here;
+# the protocol is machine-agnostic).
+# ---------------------------------------------------------------------------
+
+
+def _sample_tcp_cases(count=TCP_FUZZ_CASES):
+    """Fixed-seed combos over the tcp leg's space — the control plane is a
+    sampled axis here (both planes must survive the wire)."""
+    rng = random.Random(FUZZ_SEED + 0x7C9)
+    seen = set()
+    cases = []
+    while len(cases) < count:
+        case = (
+            rng.choice(OVERLAYS),
+            rng.choice(PROTOCOLS),
+            rng.choice(VARIANTS),
+            rng.choice(CODECS),
+            rng.choice(("replicated", "directory")),
+            rng.choice(TCP_SHARD_COUNTS),
+        )
+        if case in seen:
+            continue
+        seen.add(case)
+        cases.append(case)
+    return cases
+
+
+TCP_CASES = _sample_tcp_cases()
+
+
+def _tcp_case_id(case):
+    overlay, protocol, variant, codec, plane, shards = case
+    return f"{overlay}-{protocol}-{variant}-{codec}-{plane}-k{shards}"
+
+
+def _tcp_cases():
+    if env_flag(TCP_FULL_ENV):
+        return TCP_CASES
+    return TCP_CASES[:TCP_SUBSET]
+
+
+@pytest.mark.parametrize("case", _tcp_cases(), ids=_tcp_case_id)
+def test_sharded_tcp_matches_mp_serial_and_unsharded(case):
+    """tcp ≡ mp ≡ serial ≡ unsharded, byte for byte, over localhost."""
+    overlay, protocol, variant, codec, plane, shards = case
+    reference = _reference_digest(protocol, overlay, variant, codec)
+    serial = run_training_sharded(
+        protocol, overlay, variant, shards, executor="serial", codec=codec,
+        control_plane=plane,
+    )
+    tcp = run_training_sharded(
+        protocol, overlay, variant, shards, executor="tcp", codec=codec,
+        control_plane=plane,
+    )
+    assert serial.digest() == reference, (
+        f"serial sharded run diverged from the unsharded kernel on "
+        f"{_tcp_case_id(case)}"
+    )
+    assert tcp.digest() == serial.digest(), (
+        f"tcp executor diverged from serial on {_tcp_case_id(case)}"
+    )
+    assert tcp.now == serial.now
+    assert tcp.windows == serial.windows
+    try:
+        import multiprocessing
+
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return
+    mp = run_training_sharded(
+        protocol, overlay, variant, shards, executor="mp", codec=codec,
+        control_plane=plane,
+    )
+    assert tcp.digest() == mp.digest(), (
+        f"tcp executor diverged from mp on {_tcp_case_id(case)}"
+    )
+
+
+def test_tcp_fuzz_covers_every_axis():
+    """The full tcp sample touches each shard count and both control
+    planes (the tier-1 subset is a prefix of this matrix)."""
+    assert {c[4] for c in TCP_CASES} == {"replicated", "directory"}
+    assert {c[5] for c in TCP_CASES} == set(TCP_SHARD_COUNTS)
+
+
+@pytest.mark.parametrize(
+    "key",
+    ["chord/pace/none/k2", "superpeer/nbagg/churn/k4"],
+)
+def test_tcp_matches_checked_in_sharded_golden(key):
+    """Golden smoke: the tcp executor lands the *checked-in* sharded
+    golden digests — asserted against the committed file, never
+    regenerated."""
+    import json
+    from pathlib import Path
+
+    golden_path = (
+        Path(__file__).parent / "golden" / "training_digests_sharded.json"
+    )
+    digests = json.loads(golden_path.read_text(encoding="utf-8"))
+    overlay, protocol, variant, k = key.split("/")
+    run = run_training_sharded(
+        protocol, overlay, variant, int(k[1:]), executor="tcp"
+    )
+    assert run.digest() == digests[key], (
+        f"tcp executor diverged from the checked-in golden digest for {key}"
+    )
 
 
 # ---------------------------------------------------------------------------
