@@ -442,17 +442,32 @@ class _StormWorkload:
 
     A class carrying its parameters (not a closure) so the tcp executor
     can pickle it into worker processes.
+
+    ``store_base`` attaches a :class:`~repro.sim.tracestore.TraceStore`
+    (file ``{store_base}.{shard_id}``, so every worker writes its own) —
+    the E3 ingest-overhead axis.  Only the path string is pickled; the
+    store opens inside the worker.
     """
 
     def __init__(self, num_nodes, rounds, fanout,
-                 payload_bytes=SHARDED_STORM_PAYLOAD_BYTES):
+                 payload_bytes=SHARDED_STORM_PAYLOAD_BYTES, store_base=None):
         self.num_nodes = num_nodes
         self.rounds = rounds
         self.fanout = fanout
         self.payload_bytes = payload_bytes
+        self.store_base = store_base
 
     def __call__(self, scenario):
         from repro.sim.messages import Message
+
+        store = None
+        if self.store_base is not None:
+            from repro.sim.tracestore import TraceStore
+
+            store = TraceStore(
+                f"{self.store_base}.{scenario.shard_id}",
+                shard=scenario.shard_id,
+            ).attach_scenario(scenario)
 
         num_nodes = self.num_nodes
         fanout = self.fanout
@@ -486,12 +501,15 @@ class _StormWorkload:
                 if owns(src):
                     simulator.schedule_at(at, fire, args=(src, round_index))
         simulator.run_until_idle(max_events=5_000_000)
+        if store is not None:
+            store.record_stats(scenario.stats)
+            store.close()
         return delivered[0], scenario.construction_cost()
 
 
-def _storm_workload(num_nodes, rounds, fanout):
+def _storm_workload(num_nodes, rounds, fanout, store_base=None):
     """Picklable SPMD storm workload (see :class:`_StormWorkload`)."""
-    return _StormWorkload(num_nodes, rounds, fanout)
+    return _StormWorkload(num_nodes, rounds, fanout, store_base=store_base)
 
 
 def _sharded_storm_config(num_nodes, shards, seed=3,
@@ -513,12 +531,13 @@ def _sharded_storm_config(num_nodes, shards, seed=3,
 
 
 def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
-                      control_plane="replicated", wal=None):
+                      control_plane="replicated", wal=None, store_base=None):
     """One sharded storm run; returns (elapsed, digest, delivered, windows,
     max-per-worker construction cost, exchange summary)."""
     from repro.sim.shard import ShardedScenario
 
-    workload = _storm_workload(num_nodes, rounds, fanout)
+    workload = _storm_workload(num_nodes, rounds, fanout,
+                               store_base=store_base)
     start = time.perf_counter()
     run = ShardedScenario(
         _sharded_storm_config(num_nodes, shards, seed, control_plane, wal),
@@ -536,12 +555,13 @@ def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
     )
 
 
-def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
+def run_unsharded_storm(num_nodes, rounds, fanout, seed=3, store_base=None):
     """The single-heap reference of the same storm (shards=0)."""
     from repro.sim.scenario import Scenario
     from repro.sim.shard import scenario_digest
 
-    workload = _storm_workload(num_nodes, rounds, fanout)
+    workload = _storm_workload(num_nodes, rounds, fanout,
+                               store_base=store_base)
     start = time.perf_counter()
     scenario = Scenario(_sharded_storm_config(num_nodes, 0, seed))
     delivered, cost = workload(scenario)
@@ -557,13 +577,19 @@ def run_unsharded_storm(num_nodes, rounds, fanout, seed=3):
 
 
 def _storm_configs():
-    """(label, shards, executor, control_plane, repeats, wal, pair)
+    """(label, shards, executor, control_plane, repeats, wal, pair, store)
     per E3e row.  Rows sharing a ``pair`` tag are measured with their
     repeats interleaved run-for-run (see :func:`run_sharded_storm_rows`)."""
     nodes = SHARDED_STORM_NODES
     k = SHARDED_STORM_SHARDS
     configs = [
-        ("unsharded", 0, None, "replicated", 2, False, None),
+        # The trace-store axis: the unsharded storm with and without a
+        # TraceStore ingesting every send attempt through the block-listener
+        # API.  Best-of-three interleaved like the WAL pairs; the <10%
+        # ingest-overhead bar divides the two minima, and the store row's
+        # digest must join the all-equal set (ingest is accounting-only).
+        ("unsharded", 0, None, "replicated", 3, False, "store", False),
+        ("unsharded store", 0, None, "replicated", 3, False, "store", True),
         # The WAL axis: the same storms with every window barrier logged
         # (frames + cursors + deltas) to the write-ahead log.  Their digests
         # must join the all-equal set and their wall-clock prices the
@@ -571,27 +597,28 @@ def _storm_configs():
         # Each plain/WAL pair runs best-of-three with the repeats
         # interleaved, so the overhead ratio divides minima from the same
         # time neighborhood instead of rows measured minutes apart.
-        (f"serial k{k}", k, "serial", "replicated", 3, False, "serial-wal"),
+        (f"serial k{k}", k, "serial", "replicated", 3, False, "serial-wal",
+         False),
         (f"serial k{k} wal", k, "serial", "replicated", 3, True,
-         "serial-wal"),
-        (f"mp k{k}", k, "mp", "replicated", 3, False, "mp-wal"),
-        (f"mp k{k} wal", k, "mp", "replicated", 3, True, "mp-wal"),
+         "serial-wal", False),
+        (f"mp k{k}", k, "mp", "replicated", 3, False, "mp-wal", False),
+        (f"mp k{k} wal", k, "mp", "replicated", 3, True, "mp-wal", False),
         # The tcp executor (PR 8): the same storm with shard workers as
         # socket-connected processes over localhost — prices the wire
         # protocol (frame blobs riding sync/decision messages through the
         # coordinator) against mp's shared-memory rings.  Digests must
         # join the all-equal set like every other row.
-        (f"tcp k{k}", k, "tcp", "replicated", 2, False, None),
-        (f"tcp k{k} dir", k, "tcp", "directory", 2, False, None),
+        (f"tcp k{k}", k, "tcp", "replicated", 2, False, None, False),
+        (f"tcp k{k} dir", k, "tcp", "directory", 2, False, None, False),
     ]
     for dk in DIRECTORY_STORM_SHARDS:
         # Best-of-two on the K=8 pair (it carries the speedup bar); the
         # K=16 oversubscription row is informational and runs once.
         repeats = 2 if dk <= 8 else 1
         configs.append((f"serial k{dk} dir", dk, "serial", "directory",
-                        repeats, False, None))
+                        repeats, False, None, False))
         configs.append((f"mp k{dk} dir", dk, "mp", "directory", repeats,
-                        False, None))
+                        False, None, False))
     return configs
 
 
@@ -602,17 +629,29 @@ def run_sharded_storm_rows():
     rows = []
     bench_entries = []
     wal_path = RESULTS_DIR / "e3_storm.wal"
+    store_base = RESULTS_DIR / "e3_storm_trace"
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     configs = _storm_configs()
 
-    def run_once(shards, executor, plane, wal):
+    def _clear_store_files():
+        # Stores append on reopen; every timed repeat must ingest from a
+        # clean file so the work (and the final row counts) stay constant.
+        for stale in RESULTS_DIR.glob("e3_storm_trace.*"):
+            stale.unlink()
+
+    def run_once(shards, executor, plane, wal, store):
+        if store:
+            _clear_store_files()
+        base = str(store_base) if store else None
         if shards == 0:
-            return run_unsharded_storm(nodes, rounds, fanout)
+            return run_unsharded_storm(nodes, rounds, fanout,
+                                       store_base=base)
         return run_sharded_storm(
             nodes, shards, executor, rounds, fanout, control_plane=plane,
             # each repeat rewrites the log from scratch, so the timed
             # work always includes the full checkpoint stream
             wal=str(wal_path) if wal else None,
+            store_base=base,
         )
 
     # Measure, best of `repeats`.  Adjacent configs sharing a `pair` tag
@@ -632,12 +671,46 @@ def run_sharded_storm_rows():
     for _pair, group in groups:
         samples = {config[0]: [] for config in group}
         for _ in range(group[0][4]):
-            for label, shards, executor, plane, _repeats, wal, _tag in group:
-                samples[label].append(run_once(shards, executor, plane, wal))
+            for (label, shards, executor, plane, _repeats, wal, _tag,
+                 store) in group:
+                samples[label].append(
+                    run_once(shards, executor, plane, wal, store)
+                )
         for label, runs in samples.items():
             best[label] = min(runs, key=lambda r: r[0])
 
-    for label, shards, executor, plane, repeats, wal, _tag in configs:
+    # The surviving store files (from the store pair's last repeat) merge
+    # into the queryable artifact the nightly job uploads; the E2/E3-style
+    # traffic table regenerates from the stored rows alone — no re-run.
+    from repro.bench.reporting import traffic_rows_from_store
+    from repro.sim.tracestore import merge_stores
+
+    merged_path = RESULTS_DIR / "e3_storm_trace.db"
+    if merged_path.exists():
+        merged_path.unlink()
+    shard_stores = sorted(RESULTS_DIR.glob("e3_storm_trace.*"))
+    with merge_stores(merged_path, shard_stores) as merged:
+        (_, store_rows) = merged.sql("SELECT COUNT(*) FROM messages")
+        store_row_count = store_rows[0][0]
+    traffic_headers, traffic_rows = traffic_rows_from_store(str(merged_path))
+    write_results(
+        "e3_storm_trace_traffic",
+        format_table(
+            "E3f  Storm traffic regenerated from the stored trace "
+            f"({store_row_count} rows, {len(shard_stores)} shard store(s))",
+            traffic_headers,
+            traffic_rows,
+        ),
+        headers=traffic_headers,
+        rows=traffic_rows,
+    )
+    assert store_row_count == nodes * rounds * fanout, (
+        f"trace store captured {store_row_count} rows, expected "
+        f"{nodes * rounds * fanout}"
+    )
+
+    for (label, shards, executor, plane, repeats, wal, _tag,
+         store) in configs:
         elapsed, digest, delivered, windows, cost, exchange = best[label]
         messages = nodes * rounds * fanout
         rows.append(
@@ -677,6 +750,10 @@ def run_sharded_storm_rows():
                 ),
                 "wal": wal,
                 "wal_bytes": os.path.getsize(wal_path) if wal else 0,
+                "trace_store": store,
+                "trace_db_bytes": (
+                    os.path.getsize(merged_path) if store else 0
+                ),
                 "stats_digest": digest[:16],
             }
         )
@@ -743,7 +820,7 @@ def test_e3_sharded_storm(benchmark):
     )
     # Cross-shard exchange actually flowed on every sharded row.
     for row in rows:
-        if row[1] != "unsharded":
+        if not row[1].startswith("unsharded"):
             assert row[7] > 0, f"no exchange records on {row[1]}"
 
     by_label = {row[1]: row for row in rows}
@@ -780,6 +857,17 @@ def test_e3_sharded_storm(benchmark):
                 f"{executor} WAL overhead {overhead:.1%} >= 10% "
                 f"({logged:.3f}s vs {plain:.3f}s)"
             )
+        # The trace-store ingest bar: streaming every send attempt into
+        # the columnar store must cost < 10% wall-time against the
+        # matching no-store row (proves ingest keeps up with the
+        # vectorized transport instead of quietly serializing it).
+        plain = by_label["unsharded"][9]
+        ingest = by_label["unsharded store"][9]
+        store_overhead = ingest / max(plain, 1e-9) - 1.0
+        assert store_overhead < 0.10, (
+            f"trace-store ingest overhead {store_overhead:.1%} >= 10% "
+            f"({ingest:.3f}s vs {plain:.3f}s)"
+        )
 
     serial_row = by_label[f"serial k{SHARDED_STORM_SHARDS}"]
     mp_row = by_label[f"mp k{SHARDED_STORM_SHARDS}"]

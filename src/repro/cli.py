@@ -10,7 +10,9 @@ Subcommands:
 - ``suggest``  — train, then print the Suggestion Cloud for the first few
   held-out documents (the Fig. 3 interaction, in a terminal);
 - ``overlay``  — build an overlay at a given size and print routing and
-  connectivity statistics.
+  connectivity statistics;
+- ``analyze``  — run canned window-function analytics (or raw SQL) against
+  a trace store written by :class:`repro.sim.tracestore.TraceStore`.
 
 All commands accept ``--seed`` and are fully reproducible.
 """
@@ -215,6 +217,50 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+_ANALYZE_REPORTS = ("summary", "traffic", "peers", "routes", "churn", "codec")
+
+_ANALYZE_TITLES = {
+    "summary": "Store summary",
+    "traffic": "Traffic by message type",
+    "peers": "Per-peer sent-traffic percentiles",
+    "routes": "Route length distribution over time",
+    "churn": "Churn-phase breakdown by window",
+    "codec": "Raw vs wire bytes by traffic class",
+}
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Query a trace store: canned analytics or passthrough SQL."""
+    from pathlib import Path
+
+    from repro.sim.tracestore import TraceStore
+
+    if not Path(args.path).exists():
+        # Opening would create an empty store — catch the typo instead.
+        print(f"error: no trace store at {args.path}", file=sys.stderr)
+        return 2
+    with TraceStore(args.path, backend=args.backend) as store:
+        if args.sql:
+            headers, rows = store.sql(args.sql)
+            print(format_table("SQL", list(headers), [list(r) for r in rows]))
+            return 0
+        reports = args.report or ["summary", "traffic"]
+        for name in reports:
+            if name == "routes":
+                headers, rows = store.report_routes(args.bucket)
+            elif name == "summary":
+                headers, rows = store.summary()
+            else:
+                headers, rows = getattr(store, f"report_{name}")()
+            print(
+                format_table(
+                    _ANALYZE_TITLES[name], list(headers),
+                    [list(r) for r in rows],
+                )
+            )
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     algorithms = args.algorithms or list(ALGORITHMS)
     rows = []
@@ -375,6 +421,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard id to claim (-1 lets the coordinator assign one)",
     )
     p_worker.set_defaults(func=cmd_worker)
+
+    p_analyze = subparsers.add_parser(
+        "analyze",
+        help="query a trace store: canned window-function analytics "
+        "(traffic, peers, routes, churn, codec) or raw SQL",
+    )
+    p_analyze.add_argument("path", help="trace store file (sqlite/duckdb)")
+    p_analyze.add_argument(
+        "--report", action="append", choices=_ANALYZE_REPORTS, default=None,
+        help="canned report to print (repeatable; default: summary, traffic)",
+    )
+    p_analyze.add_argument(
+        "--bucket", type=float, default=1.0,
+        help="virtual-time bucket width for --report routes",
+    )
+    p_analyze.add_argument(
+        "--sql", default=None, metavar="QUERY",
+        help="run one SQL query against the store instead of canned reports",
+    )
+    p_analyze.add_argument(
+        "--backend", choices=("sqlite", "duckdb"), default=None,
+        help="storage engine (default: sqlite, or REPRO_TRACE_BACKEND)",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_overlay = subparsers.add_parser(
         "overlay", help="build an overlay and report routing statistics"

@@ -28,6 +28,52 @@ from repro.sim.stats import StatsCollector
 
 DeliveryHandler = Callable[[Message], None]
 SendListener = Callable[[Message], None]
+BlockListener = Callable[["SendBlock"], None]
+
+
+class SendBlock:
+    """One same-tick block of send attempts, struct-of-arrays.
+
+    Block listeners (:meth:`PhysicalNetwork.add_block_listener`) receive
+    exactly one of these per network call — a single :meth:`send`, a
+    :meth:`send_batch` block, or a :meth:`broadcast_block` fan-out — instead
+    of a per-message callback.  Columns follow the
+    :class:`~repro.sim.exchange.ExchangeFrame` SoA convention: each of
+    ``src``/``dst``/``msg_type``/``size_bytes``/``wire_bytes``/``hops`` is
+    either a scalar (constant over the block — how a broadcast ships its
+    shared type and size without expansion) or a sequence of length
+    ``count``.  ``time`` is the shared send tick.  Consumers that need
+    per-record values use :meth:`column` or :meth:`rows`; columnar
+    consumers (the trace store) read the raw attributes and broadcast
+    scalars themselves.
+    """
+
+    __slots__ = ("time", "count", "src", "dst", "msg_type", "size_bytes",
+                 "wire_bytes", "hops")
+
+    def __init__(self, time: float, count: int, src, dst, msg_type,
+                 size_bytes, wire_bytes, hops) -> None:
+        self.time = time
+        self.count = count
+        self.src = src
+        self.dst = dst
+        self.msg_type = msg_type
+        self.size_bytes = size_bytes
+        self.wire_bytes = wire_bytes
+        self.hops = hops
+
+    _COLUMNS = ("src", "dst", "msg_type", "size_bytes", "wire_bytes", "hops")
+
+    def column(self, name: str) -> Sequence:
+        """The named column as a length-``count`` sequence (scalars expand)."""
+        value = getattr(self, name)
+        if isinstance(value, (int, np.integer, float, str)):
+            return [value] * self.count
+        return value
+
+    def rows(self):
+        """Iterate (src, dst, msg_type, size_bytes, wire_bytes, hops) rows."""
+        return zip(*(self.column(name) for name in self._COLUMNS))
 
 #: splitmix64 constants — explicit integer mix for per-pair latency seeds.
 _MIX_MULT_A = 0x9E3779B97F4A7C15
@@ -251,6 +297,7 @@ class PhysicalNetwork:
         self._down: Set[int] = set()
         self._pair_latency_cache: Dict[tuple, float] = {}
         self._send_listeners: List[SendListener] = []
+        self._block_listeners: List[BlockListener] = []
         #: per-source stream providers (decomposed-randomness mode).  When
         #: unset, every draw comes from the simulator's single seeded stream
         #: in event order — the legacy mode, bit-identical to the pre-shard
@@ -345,6 +392,13 @@ class PhysicalNetwork:
         down sources and messages later dropped by loss — matching the seed
         tracer, which recorded before any liveness check.  Batched sends are
         seen message-by-message.
+
+        A per-message listener needs a :class:`Message` object per send, so
+        its presence forces :meth:`Transport.broadcast` off the lazy
+        vectorized path.  Observers that can consume SoA batches should use
+        :meth:`add_block_listener` instead, which all three send paths —
+        including :meth:`broadcast_block` — notify without leaving the fast
+        path.
         """
         self._send_listeners.append(listener)
 
@@ -354,10 +408,68 @@ class PhysicalNetwork:
 
     @property
     def has_send_listeners(self) -> bool:
-        """True when a tracer is attached (disables lazy-message fast paths,
-        which cannot present per-message :class:`Message` objects at send
-        time)."""
+        """True when a *per-message* tracer is attached (disables the
+        lazy-message fast paths, which cannot present per-message
+        :class:`Message` objects at send time).  Block listeners do not
+        count: they receive SoA batches and keep every fast path taken.
+        """
         return bool(self._send_listeners)
+
+    def add_block_listener(self, listener: BlockListener) -> None:
+        """Observe send attempts as SoA batches (one :class:`SendBlock` per
+        network call) — the accounting-only observer contract.
+
+        Same attempt semantics as :meth:`add_send_listener` (fires before
+        liveness/loss checks), but batched: a vectorized
+        :meth:`broadcast_block` delivers one callback with scalar columns
+        plus the destination array, never materializing messages, so
+        attaching a block listener never perturbs the event stream, the RNG
+        draw order, or which send path is taken.
+        """
+        self._block_listeners.append(listener)
+
+    def remove_block_listener(self, listener: BlockListener) -> None:
+        if listener in self._block_listeners:
+            self._block_listeners.remove(listener)
+
+    @property
+    def has_block_listeners(self) -> bool:
+        return bool(self._block_listeners)
+
+    def _notify_message_block(self, messages: Sequence[Message]) -> None:
+        """Present a same-tick block of materialized messages to the block
+        listeners as one SoA batch."""
+        block = SendBlock(
+            time=self.simulator.now,
+            count=len(messages),
+            src=[m.src for m in messages],
+            dst=[m.dst for m in messages],
+            msg_type=[m.msg_type for m in messages],
+            size_bytes=[m.size_bytes for m in messages],
+            wire_bytes=[m.wire_bytes for m in messages],
+            hops=[m.hops for m in messages],
+        )
+        for listener in self._block_listeners:
+            listener(block)
+
+    def _notify_broadcast_block(
+        self, src: int, dsts: Sequence[int], msg_type: str,
+        size_bytes: int, wire_bytes: int,
+    ) -> None:
+        """Present one broadcast fan-out to the block listeners: constant
+        columns stay scalars, only the destination column is an array."""
+        block = SendBlock(
+            time=self.simulator.now,
+            count=len(dsts),
+            src=src,
+            dst=dsts,
+            msg_type=msg_type,
+            size_bytes=size_bytes,
+            wire_bytes=wire_bytes,
+            hops=1,
+        )
+        for listener in self._block_listeners:
+            listener(block)
 
     # -- latency -----------------------------------------------------------------
 
@@ -393,6 +505,8 @@ class PhysicalNetwork:
             raise SimulationError("loopback messages need no network")
         for listener in self._send_listeners:
             listener(message)
+        if self._block_listeners:
+            self._notify_message_block((message,))
         if not self.is_up(message.src):
             return False
         self.stats.record_message(message)
@@ -428,6 +542,8 @@ class PhysicalNetwork:
                 raise SimulationError("loopback messages need no network")
         if self.latency.drop_probability > 0 or len(messages) < 2:
             return [self.send(message) for message in messages]
+        if self._block_listeners:
+            self._notify_message_block(messages)
         results: List[bool] = []
         live: List[Message] = []
         record = self.stats.record_message
@@ -500,9 +616,12 @@ class PhysicalNetwork:
         equivalent message block: the jitter draw consumes the stream the
         same way, pair factors are the same splitmix64 mix, and the stats
         arithmetic matches message-by-message recording.  Callers must
-        pre-check the fallback conditions (loss model active, send
-        listeners attached, or a down source), which this fast path does
-        not handle; ``dsts`` must be distinct and must not contain ``src``.
+        pre-check the fallback conditions (loss model active, *per-message*
+        send listeners attached, or a down source), which this fast path
+        does not handle; ``dsts`` must be distinct and must not contain
+        ``src``.  Block listeners are notified right here — one SoA
+        :class:`SendBlock` with scalar columns — so tracing through the
+        block API never forces the scalar fallback.
 
         ``wire_bytes`` is the codec-modelled post-encoding size (defaults
         to ``size_bytes``, i.e. identity); it flows into the wire-byte
@@ -515,6 +634,9 @@ class PhysicalNetwork:
         count = len(dsts)
         if wire_bytes is None:
             wire_bytes = size_bytes
+        if self._block_listeners:
+            self._notify_broadcast_block(src, dsts, msg_type, size_bytes,
+                                         wire_bytes)
         self.stats.record_message_block(
             msg_type, size_bytes, src=src, dsts=dsts, wire_bytes=wire_bytes
         )

@@ -281,6 +281,31 @@ class Scenario:
     # kernel they are constant True, and the gated code paths are
     # byte-identical to the ungated originals.
 
+    @property
+    def shard_id(self) -> int:
+        """This kernel's shard index (0 on the single-heap kernel).
+
+        Lets accounting-only observers (the trace store) name per-shard
+        artifacts without probing for the worker subclass.
+        """
+        return 0
+
+    @property
+    def num_shards(self) -> int:
+        """Total shard count this run was configured for (>= 1)."""
+        return max(1, self.config.shards)
+
+    def add_barrier_hook(self, hook) -> bool:
+        """Register an accounting-only window-barrier observer.
+
+        Returns False on the single-heap kernel — there are no window
+        barriers, so callers (the trace store) fall back to record-count
+        flushing plus an end-of-run flush.  The sharded worker scenario
+        overrides this to append to the runtime's barrier hooks and
+        returns True.
+        """
+        return False
+
     def owns(self, address: int) -> bool:
         """True when this kernel accounts for ``address``'s activity."""
         return True

@@ -434,6 +434,11 @@ class _ShardRuntime:
         #: WAL runs: installed by :func:`_worker_body` — exports the
         #: worker's stats delta + kernel/RNG cursors at each barrier
         self.wal_probe: Optional[Callable[[], bytes]] = None
+        #: accounting-only observers called with the window index at each
+        #: barrier (trace-store flush / per-window stats deltas); hooks run
+        #: outside the event stream and must not schedule events or draw
+        #: from simulation RNGs
+        self.barrier_hooks: List[Callable[[int], None]] = []
 
     def request_control(self, kind: str, time: float) -> None:
         """Queue a control request for the next window barrier."""
@@ -511,6 +516,8 @@ class ShardSimulator(Simulator):
         self._exhausted = False
         probe = runtime.wal_probe
         while True:
+            for hook in runtime.barrier_hooks:
+                hook(runtime.windows)
             decision = runtime.channel.sync(
                 runtime.take_outbound(),
                 self.next_event_time(),
@@ -662,6 +669,11 @@ class ShardNetwork(PhysicalNetwork):
             raise SimulationError("loopback messages need no network")
         for listener in self._send_listeners:
             listener(message)
+        if self._block_listeners and self._owns(message.src):
+            # Block observation is ownership-gated so K per-shard stores
+            # merge to exactly the unsharded store's row set (each attempt
+            # observed once, on its source's owner).
+            self._notify_message_block((message,))
         if not self.is_up(message.src):
             return False
         owned = self._owns(message.src)
@@ -706,6 +718,10 @@ class ShardNetwork(PhysicalNetwork):
                 raise SimulationError("loopback messages need no network")
         if self.latency.drop_probability > 0 or len(messages) < 2:
             return [self.send(message) for message in messages]
+        if self._block_listeners:
+            owned_attempts = [m for m in messages if self._owns(m.src)]
+            if owned_attempts:
+                self._notify_message_block(owned_attempts)
         results: List[bool] = []
         live: List[Message] = []
         record = self.stats.record_message
@@ -766,6 +782,9 @@ class ShardNetwork(PhysicalNetwork):
             return np.ones(count, dtype=bool)
         if wire_bytes is None:
             wire_bytes = size_bytes
+        if self._block_listeners:
+            self._notify_broadcast_block(src, dsts, msg_type, size_bytes,
+                                         wire_bytes)
         self.stats.record_message_block(
             msg_type, size_bytes, src=src, dsts=dsts, wire_bytes=wire_bytes
         )
@@ -817,6 +836,17 @@ class _ShardWorkerScenario(Scenario):
         runtime.network = self.network
         if self.directory_mode:
             runtime.control_sink = self._schedule_control_records
+
+    @property
+    def shard_id(self) -> int:
+        return self._runtime.shard_id
+
+    def add_barrier_hook(self, hook: Callable[[int], None]) -> bool:
+        """Register an accounting-only observer called with the window index
+        at every window barrier.  Returns True — the sharded kernel has
+        barriers (the unsharded base returns False)."""
+        self._runtime.barrier_hooks.append(hook)
+        return True
 
     def _make_simulator(self) -> Simulator:
         return ShardSimulator(self.config.seed, self._runtime)

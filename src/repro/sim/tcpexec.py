@@ -55,6 +55,13 @@ the config fingerprint).
 
 Scalar exchange (``REPRO_SCALAR_EXCHANGE=1``) is rejected: like the WAL,
 the tcp wire carries columnar frames only.
+
+Trace stores ride along for free: workers execute through
+:class:`~repro.sim.shard.ShardSimulator`, so a workload that attaches a
+:class:`~repro.sim.tracestore.TraceStore` via ``attach_scenario`` gets
+its per-window flush from the runtime's barrier hooks on tcp exactly as
+on serial/mp — each worker writes its own shard's store file locally,
+merged afterwards with :func:`~repro.sim.tracestore.merge_stores`.
 """
 
 from __future__ import annotations

@@ -4,22 +4,35 @@ A :class:`MessageTrace` taps the physical network and records every sent
 message with its virtual timestamp, endpoints, type, and size.  Traces can
 be filtered, summarized into timelines, and exported as JSONL for external
 analysis — the toolkit's equivalent of OverSim's packet logs.
+
+Tracing is *accounting-only*: the trace registers as a block listener
+(:meth:`PhysicalNetwork.add_block_listener`), so attaching it never changes
+which send path the transport takes, never perturbs the RNG draw order, and
+leaves golden fingerprints byte-identical.  In particular a vectorized
+:meth:`~repro.sim.network.PhysicalNetwork.broadcast_block` stays on the fast
+path with a trace attached — the trace expands the SoA block itself.
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.sim.messages import Message
-from repro.sim.network import PhysicalNetwork
+from repro.sim.network import PhysicalNetwork, SendBlock
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One traced message send."""
+    """One traced message send.
+
+    ``wire_bytes`` is the codec-modelled post-encoding size; it defaults to
+    ``size_bytes`` (identity codec) when not given, mirroring
+    :class:`~repro.sim.messages.Message`.
+    """
 
     time: float
     src: int
@@ -27,6 +40,11 @@ class TraceRecord:
     msg_type: str
     size_bytes: int
     hops: int
+    wire_bytes: int = -1
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < 0:
+            object.__setattr__(self, "wire_bytes", self.size_bytes)
 
     def to_dict(self) -> dict:
         return {
@@ -36,20 +54,24 @@ class TraceRecord:
             "type": self.msg_type,
             "bytes": self.size_bytes,
             "hops": self.hops,
+            "wire": self.wire_bytes,
         }
 
 
 class MessageTrace:
     """Records every message sent through a :class:`PhysicalNetwork`.
 
-    Attach with :meth:`attach`; the trace registers as a send listener so it
-    sees unicast and batched sends alike.  Recording happens for *sent*
+    Attach with :meth:`attach`; the trace registers as a *block* listener so
+    it sees unicast, batched, and vectorized broadcast sends alike without
+    forcing any of them off their fast path.  Recording happens for *sent*
     messages whether or not they are later dropped — the same convention the
     stats collector uses.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self._records: List[TraceRecord] = []
+        # deque(maxlen=...) makes capacity eviction O(1); list.pop(0) made
+        # a full capacity-bounded trace quadratic over a message storm.
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._capacity = capacity
         self._network: Optional[PhysicalNetwork] = None
 
@@ -59,17 +81,31 @@ class MessageTrace:
         if self._network is not None:
             raise RuntimeError("trace is already attached")
         self._network = network
-        network.add_send_listener(self._on_send)
+        network.add_block_listener(self._on_block)
         return self
 
     def detach(self) -> None:
         if self._network is not None:
-            self._network.remove_send_listener(self._on_send)
+            self._network.remove_block_listener(self._on_block)
         self._network = None
 
-    def _on_send(self, message: Message) -> None:
-        assert self._network is not None
-        self._record(self._network.simulator.now, message)
+    def _on_block(self, block: SendBlock) -> None:
+        append = self._records.append
+        time = block.time
+        for src, dst, msg_type, size_bytes, wire_bytes, hops in block.rows():
+            # int() strips numpy scalar types a broadcast's dst array may
+            # carry, keeping records plain-Python (and JSON-serializable).
+            append(
+                TraceRecord(
+                    time=time,
+                    src=int(src),
+                    dst=int(dst),
+                    msg_type=msg_type,
+                    size_bytes=int(size_bytes),
+                    hops=int(hops),
+                    wire_bytes=int(wire_bytes),
+                )
+            )
 
     def __enter__(self) -> "MessageTrace":
         return self
@@ -80,8 +116,8 @@ class MessageTrace:
     # -- recording ---------------------------------------------------------------
 
     def _record(self, time: float, message: Message) -> None:
-        if self._capacity is not None and len(self._records) >= self._capacity:
-            self._records.pop(0)
+        """Record one materialized message (direct use; listeners go through
+        :meth:`_on_block`)."""
         self._records.append(
             TraceRecord(
                 time=time,
@@ -90,6 +126,7 @@ class MessageTrace:
                 msg_type=message.msg_type,
                 size_bytes=message.size_bytes,
                 hops=message.hops,
+                wire_bytes=message.wire_bytes,
             )
         )
 
@@ -170,6 +207,8 @@ class MessageTrace:
                         msg_type=str(data["type"]),
                         size_bytes=int(data["bytes"]),
                         hops=int(data.get("hops", 1)),
+                        # Pre-wire traces default to identity, like ``hops``.
+                        wire_bytes=int(data.get("wire", data["bytes"])),
                     )
                 )
         return trace

@@ -286,7 +286,11 @@ class Transport:
         access).  The RNG stream is consumed bit-identically to the scalar
         message-per-recipient path, which remains behind
         :attr:`scalar_broadcast` (and is the automatic fallback when a loss
-        model or a send listener needs per-message draws/objects).
+        model or a *per-message* send listener needs per-message
+        draws/objects).  Block listeners — the trace layer and the trace
+        store — ride the fast path: :meth:`PhysicalNetwork.broadcast_block`
+        hands them one SoA batch, so attaching a trace no longer disables
+        the vectorization.
         """
         redundant = 0
         if recipients is None:

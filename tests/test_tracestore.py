@@ -1,0 +1,499 @@
+"""Tests for the block-listener API, the trace-layer hot-path fixes, and
+the queryable trace store (`repro.sim.tracestore`).
+
+The invariants under test:
+
+- block listeners observe every send attempt on all three network paths
+  without forcing any of them off their fast path (the old per-message
+  send-listener gate disabled the vectorized broadcast);
+- a capacity-bounded :class:`MessageTrace` evicts in O(1) (deque, not
+  ``list.pop(0)``);
+- :class:`TraceRecord` carries ``wire_bytes`` end to end (JSONL included,
+  with the pre-wire back-compat default);
+- trace-store ingest is accounting-only: golden digests are byte-identical
+  with a store attached, across the sharded fuzz sample;
+- K per-shard stores merge to exactly the unsharded store's row set.
+"""
+
+import collections
+import time as _time
+
+import pytest
+
+from determinism_fixtures import (
+    SHARD_JITTER_FLOOR,
+    TrainingWorkload,
+    build_scenario_config,
+    digest_of,
+    run_training_perpeer,
+    run_training_sharded,
+)
+from repro.cli import main
+from repro.sim.codec import make_codec_table
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import PhysicalNetwork, SendBlock
+from repro.sim.scenario import Scenario
+from repro.sim.shard import ShardedScenario
+from repro.sim.stats import StatsCollector
+from repro.sim.trace import MessageTrace, TraceRecord
+from repro.sim.tracestore import (
+    TraceStore,
+    duckdb_available,
+    merge_stores,
+)
+from repro.sim.transport import Transport
+
+
+def make_stack(num_nodes=6, seed=0, codec=None):
+    simulator = Simulator(seed=seed)
+    stats = StatsCollector()
+    network = PhysicalNetwork(simulator, stats=stats)
+    transport = Transport(
+        network, stats=stats,
+        codec=make_codec_table(codec) if codec else None,
+    )
+    for node in range(num_nodes):
+        network.register(node, lambda message: None)
+    return simulator, stats, network, transport
+
+
+ROW_QUERY = (
+    "SELECT time, src, dst, msg_type, size_bytes, wire_bytes, hops"
+    " FROM traffic"
+)
+
+
+def store_rows(path):
+    with TraceStore(path) as store:
+        _, rows = store.sql(ROW_QUERY)
+    return sorted(rows)
+
+
+# ---------------------------------------------------------------------------
+# Block-listener API.
+# ---------------------------------------------------------------------------
+
+
+class TestBlockListeners:
+    def test_blocks_cover_all_three_send_paths(self):
+        simulator, stats, network, transport = make_stack()
+        blocks = []
+        network.add_block_listener(blocks.append)
+        network.send(Message(src=0, dst=1, msg_type="uni", payload="x"))
+        network.send_batch([
+            Message(src=1, dst=2, msg_type="bat", size_bytes=10),
+            Message(src=2, dst=3, msg_type="bat", size_bytes=11),
+        ])
+        network.broadcast_block(4, [0, 1, 2], "cast", None, 50,
+                                wire_bytes=30)
+        assert [b.count for b in blocks] == [1, 2, 3]
+        unicast, batch, cast = blocks
+        assert list(unicast.rows())[0][2] == "uni"
+        assert [row[3] for row in batch.rows()] == [10, 11]
+        # Broadcast columns stay scalar — no per-recipient expansion.
+        assert cast.src == 4 and cast.msg_type == "cast"
+        assert cast.size_bytes == 50 and cast.wire_bytes == 30
+        assert [row[1] for row in cast.rows()] == [0, 1, 2]
+
+    def test_attempts_recorded_before_liveness(self):
+        simulator, stats, network, transport = make_stack()
+        network.set_down(0)
+        blocks = []
+        network.add_block_listener(blocks.append)
+        sent = network.send(Message(src=0, dst=1, msg_type="a"))
+        assert not sent  # down source: dropped...
+        assert blocks and blocks[0].count == 1  # ...but the attempt is seen
+
+    def test_remove_block_listener(self):
+        simulator, stats, network, transport = make_stack()
+        blocks = []
+        network.add_block_listener(blocks.append)
+        network.remove_block_listener(blocks.append)
+        assert not network.has_block_listeners
+        network.send(Message(src=0, dst=1, msg_type="a"))
+        assert blocks == []
+
+    def test_block_listener_does_not_force_scalar_broadcast(self):
+        """The satellite-2 fix: a trace rides the vectorized fast path."""
+        simulator, stats, network, transport = make_stack(num_nodes=20)
+        calls = []
+        original = network.broadcast_block
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        network.broadcast_block = spy
+        with MessageTrace().attach(network) as trace:
+            assert not network.has_send_listeners
+            assert network.has_block_listeners
+            transport.broadcast(
+                0, "cast", "y" * 64, recipients=list(range(1, 20))
+            )
+        assert calls == [1], "trace attached forced the scalar fallback"
+        assert len(trace) == 19
+
+    def test_digest_invariant_and_scalar_trace_equal(self):
+        """Same digest with/without trace; same records scalar/vectorized."""
+
+        def run(trace=None, scalar=False, codec="gzip-model"):
+            simulator, stats, network, transport = make_stack(
+                num_nodes=12, codec=codec
+            )
+            transport.scalar_broadcast = scalar
+            if trace is not None:
+                trace.attach(network)
+            for origin in (0, 1):
+                transport.broadcast(
+                    origin, "cast", "z" * 100,
+                    recipients=[n for n in range(12) if n != origin],
+                )
+            simulator.run()
+            if trace is not None:
+                trace.detach()
+            return stats
+
+        bare = run()
+        traced_trace = MessageTrace()
+        traced = run(trace=traced_trace)
+        assert bare.fingerprint_bytes() == traced.fingerprint_bytes()
+
+        scalar_trace = MessageTrace()
+        scalar_stats = run(trace=scalar_trace, scalar=True)
+        assert scalar_stats.fingerprint_bytes() == bare.fingerprint_bytes()
+        assert scalar_trace.records() == traced_trace.records()
+        # The codec dimension is captured, not defaulted.
+        assert all(
+            r.wire_bytes < r.size_bytes for r in traced_trace.records()
+        )
+
+
+# ---------------------------------------------------------------------------
+# MessageTrace hot-path fixes.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceFixes:
+    def test_capacity_eviction_is_deque(self):
+        trace = MessageTrace(capacity=3)
+        assert isinstance(trace._records, collections.deque)
+        assert trace._records.maxlen == 3
+
+    def test_capacity_bounded_storm_stays_linear(self):
+        """50k sends into a capacity-bounded trace: the old list.pop(0)
+        made this quadratic (~1.5B element moves); the deque finishes in
+        well under the generous absolute bound."""
+        simulator, stats, network, transport = make_stack()
+        trace = MessageTrace(capacity=1000).attach(network)
+        message = Message(src=0, dst=1, msg_type="storm", size_bytes=8)
+        start = _time.perf_counter()
+        for _ in range(50_000):
+            network.send(message)
+        elapsed = _time.perf_counter() - start
+        trace.detach()
+        assert len(trace) == 1000
+        assert elapsed < 10.0, f"capacity-bounded trace took {elapsed:.1f}s"
+
+    def test_capacity_keeps_newest_records(self):
+        simulator, stats, network, transport = make_stack()
+        trace = MessageTrace(capacity=2).attach(network)
+        for index in range(5):
+            network.send(
+                Message(src=0, dst=1, msg_type=f"m{index}")
+            )
+        trace.detach()
+        assert [r.msg_type for r in trace.records()] == ["m3", "m4"]
+
+    def test_trace_record_wire_bytes_default(self):
+        record = TraceRecord(
+            time=0.0, src=1, dst=2, msg_type="a", size_bytes=40, hops=1
+        )
+        assert record.wire_bytes == 40  # identity default, like Message
+        explicit = TraceRecord(
+            time=0.0, src=1, dst=2, msg_type="a", size_bytes=40, hops=1,
+            wire_bytes=9,
+        )
+        assert explicit.wire_bytes == 9
+        assert explicit.to_dict()["wire"] == 9
+
+    def test_jsonl_roundtrip_preserves_wire(self, tmp_path):
+        simulator, stats, network, transport = make_stack(codec="gzip-model")
+        trace = MessageTrace().attach(network)
+        transport.broadcast(0, "cast", "q" * 80, recipients=[1, 2])
+        trace.detach()
+        path = tmp_path / "trace.jsonl"
+        assert trace.export_jsonl(path) == 2
+        loaded = MessageTrace.load_jsonl(path)
+        assert loaded.records() == trace.records()
+        assert loaded.records()[0].wire_bytes < loaded.records()[0].size_bytes
+
+    def test_jsonl_backcompat_without_wire(self, tmp_path):
+        """Pre-wire exports (no "wire" key) load with wire = raw bytes."""
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"time": 1.5, "src": 1, "dst": 2, "type": "a", "bytes": 64,'
+            ' "hops": 2}\n'
+        )
+        record = MessageTrace.load_jsonl(path).records()[0]
+        assert record.wire_bytes == 64
+        assert record.hops == 2
+
+
+# ---------------------------------------------------------------------------
+# TraceStore ingest + analytics.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceStore:
+    def test_ingest_counts_and_batching(self, tmp_path):
+        path = tmp_path / "s.db"
+        simulator, stats, network, transport = make_stack(num_nodes=10)
+        with TraceStore(path, batch_records=16).attach(network) as store:
+            for origin in range(3):
+                transport.broadcast(
+                    origin, "cast", "p" * 32,
+                    recipients=[n for n in range(10) if n != origin],
+                )
+            simulator.run()
+            assert store.rows_written >= 16  # mid-run flush happened
+            store.record_stats(stats)
+        with TraceStore(path) as reopened:
+            _, rows = reopened.sql("SELECT COUNT(*) FROM messages")
+            assert rows[0][0] == 27 == stats.total_messages
+            _, types = reopened.sql("SELECT name FROM msg_types")
+            assert [t[0] for t in types] == ["cast"]
+
+    def test_store_counts_attempts_like_the_tracer(self, tmp_path):
+        """Down-source sends land in the store (tracer convention), not in
+        the stats (post-liveness)."""
+        path = tmp_path / "s.db"
+        simulator, stats, network, transport = make_stack()
+        network.set_down(0)
+        with TraceStore(path).attach(network) as store:
+            network.send(Message(src=0, dst=1, msg_type="a"))
+            network.send(Message(src=1, dst=2, msg_type="a"))
+        assert stats.total_messages == 1
+        assert len(store_rows(path)) == 2
+
+    def test_window_stats_deltas_compose(self, tmp_path):
+        path = tmp_path / "s.db"
+        stats = StatsCollector()
+        with TraceStore(path) as store:
+            stats.record_message_block(
+                "cast", 100, src=7, dsts=[1, 2, 3], wire_bytes=60
+            )
+            store.record_stats(stats)
+            stats.increment("churn_leaves")
+            stats.record_message_block(
+                "cast", 100, src=8, dsts=[1, 2], wire_bytes=40
+            )
+            store.record_stats(stats)
+            # Replaying every window's rows reproduces the totals.
+            _, rows = store.sql(
+                "SELECT family, key, SUM(delta) FROM window_stats"
+                " GROUP BY family, key"
+            )
+        totals = {(family, key): delta for family, key, delta in rows}
+        assert totals[("messages_by_type", "cast")] == 5
+        assert totals[("counters", "churn_leaves")] == 1
+        assert totals[("bytes_by_type", "cast")] == 500
+        with TraceStore(path) as store:
+            _, churn = store.report_churn()
+        assert [row[1] for row in churn] == ["steady", "churn"]
+        assert churn[-1][6] == 1  # cumulative churn events
+
+    def test_analyze_cli(self, tmp_path, capsys):
+        path = str(tmp_path / "s.db")
+        simulator, stats, network, transport = make_stack(num_nodes=8)
+        with TraceStore(path).attach(network):
+            transport.broadcast(0, "cast", "c" * 48,
+                                recipients=list(range(1, 8)))
+            simulator.run()
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "Store summary" in out and "Traffic by message type" in out
+        assert main([
+            "analyze", path, "--report", "peers", "--report", "routes",
+            "--report", "codec",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+        assert main([
+            "analyze", path, "--sql",
+            "SELECT COUNT(*) AS n FROM messages",
+        ]) == 0
+        assert "7" in capsys.readouterr().out
+        assert main(["analyze", str(tmp_path / "missing.db")]) == 2
+
+    def test_reporting_from_store_matches_stats(self, tmp_path):
+        from repro.bench.reporting import traffic_rows_from_store
+
+        path = str(tmp_path / "s.db")
+        simulator, stats, network, transport = make_stack(
+            num_nodes=9, codec="gzip-model"
+        )
+        with TraceStore(path).attach(network):
+            transport.broadcast(0, "cast", "r" * 64,
+                                recipients=list(range(1, 9)))
+            network.send(Message(src=1, dst=2, msg_type="uni",
+                                 size_bytes=33))
+            simulator.run()
+        headers, rows = traffic_rows_from_store(path)
+        by_type = {row[0]: row for row in rows}
+        assert by_type["cast"][1] == stats.messages_by_type["cast"]
+        assert by_type["cast"][2] == stats.bytes_by_type["cast"]
+        assert by_type["cast"][3] == stats.wire_bytes_by_type["cast"]
+        assert by_type["uni"][2] == 33
+
+    @pytest.mark.skipif(
+        not duckdb_available(), reason="duckdb not installed"
+    )
+    def test_duckdb_backend_same_schema(self, tmp_path):
+        path = tmp_path / "s.duckdb"
+        simulator, stats, network, transport = make_stack()
+        with TraceStore(path, backend="duckdb").attach(network) as store:
+            network.send(Message(src=0, dst=1, msg_type="a"))
+            _, rows = store.sql(ROW_QUERY)
+        assert len(rows) == 1
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TraceStore(tmp_path / "s.db", backend="parquet")
+
+
+# ---------------------------------------------------------------------------
+# Sharded ingest: digest invariance, merge equality, barrier flushing.
+# ---------------------------------------------------------------------------
+
+
+class TracingTrainingWorkload(TrainingWorkload):
+    """The golden training workload with a per-shard TraceStore attached.
+
+    Module-level (not a closure) so the mp executor can pickle it into
+    worker processes; each worker opens ``{store_base}.{shard_id}``.
+    """
+
+    def __init__(self, protocol, variant, store_base, codec="identity"):
+        super().__init__(protocol, variant, codec)
+        self.store_base = store_base
+
+    def __call__(self, scenario):
+        store = TraceStore(
+            f"{self.store_base}.{scenario.shard_id}",
+            shard=scenario.shard_id,
+        ).attach_scenario(scenario)
+        try:
+            return super().__call__(scenario)
+        finally:
+            store.record_stats(scenario.stats)
+            store.close()
+
+
+def run_unsharded_with_store(protocol, overlay, variant, store_base):
+    config = build_scenario_config(
+        overlay, variant, rng_mode="perpeer",
+    )
+    scenario = Scenario(config)
+    TracingTrainingWorkload(protocol, variant, store_base)(scenario)
+    return digest_of(scenario.stats, scenario.simulator.now)
+
+
+def run_sharded_with_store(protocol, overlay, variant, shards, executor,
+                           control_plane, store_base):
+    config = build_scenario_config(
+        overlay, variant, rng_mode="perpeer", shards=shards,
+        control_plane=control_plane,
+    )
+    run = ShardedScenario(config, executor=executor).run(
+        TracingTrainingWorkload(protocol, variant, str(store_base))
+    )
+    return run.digest()
+
+
+#: the sharded fuzz sample from the ISSUE: serial/mp x replicated/directory
+STORE_FUZZ = (
+    ("pace", "chord", "churn", 2, "serial", "replicated"),
+    ("nbagg", "superpeer", "none", 2, "serial", "directory"),
+    ("pace", "chord", "none", 2, "mp", "replicated"),
+    ("centralized", "superpeer", "churn", 4, "mp", "directory"),
+)
+
+
+class TestShardedStore:
+    @pytest.mark.parametrize(
+        "protocol,overlay,variant,shards,executor,plane", STORE_FUZZ
+    )
+    def test_golden_digest_invariant_with_store(
+        self, tmp_path, protocol, overlay, variant, shards, executor, plane
+    ):
+        """Fingerprints byte-identical with and without ingest."""
+        bare = run_training_sharded(
+            protocol, overlay, variant, shards, executor=executor,
+            control_plane=plane,
+        ).digest()
+        stored = run_sharded_with_store(
+            protocol, overlay, variant, shards, executor, plane,
+            tmp_path / "shard",
+        )
+        assert stored == bare
+        # And both equal the unsharded per-peer reference.
+        stats, now = run_training_perpeer(protocol, overlay, variant)
+        assert digest_of(stats, now) == bare
+
+    def test_merge_equals_unsharded_rows(self, tmp_path):
+        """K per-shard stores merged == the unsharded store's row set."""
+        protocol, overlay, variant = "pace", "chord", "churn"
+        unsharded_digest = run_unsharded_with_store(
+            protocol, overlay, variant, tmp_path / "flat"
+        )
+        reference = store_rows(tmp_path / "flat.0")
+        assert reference, "unsharded store captured nothing"
+        for shards in (2, 4):
+            base = tmp_path / f"k{shards}"
+            sharded_digest = run_sharded_with_store(
+                protocol, overlay, variant, shards, "serial", "replicated",
+                base,
+            )
+            assert sharded_digest == unsharded_digest
+            sources = sorted(
+                tmp_path.glob(f"k{shards}.*"), key=lambda p: p.suffix
+            )
+            assert len(sources) == shards
+            merged_path = tmp_path / f"merged{shards}.db"
+            merge_stores(merged_path, sources).close()
+            assert store_rows(merged_path) == reference
+
+    def test_barrier_hook_flushes_per_window(self, tmp_path):
+        """Sharded ingest records a window_stats timeline, one delta set
+        per barrier, composable back to the merged totals."""
+        base = tmp_path / "w"
+        run = ShardedScenario(
+            build_scenario_config(
+                "chord", "churn", rng_mode="perpeer", shards=2,
+            ),
+            executor="serial",
+        ).run(TracingTrainingWorkload("pace", "churn", str(base)))
+        assert run.windows > 1
+        merged = tmp_path / "w.db"
+        merge_stores(merged, sorted(tmp_path.glob("w.*"))).close()
+        with TraceStore(merged) as store:
+            _, windows = store.sql(
+                "SELECT COUNT(DISTINCT win) FROM window_stats"
+            )
+            _, totals = store.sql(
+                "SELECT SUM(delta) FROM window_stats"
+                " WHERE family = 'messages_by_type'"
+            )
+        assert windows[0][0] > 1, "expected per-window stats deltas"
+        assert totals[0][0] == run.stats.total_messages
+
+    def test_base_scenario_hooks(self):
+        scenario = Scenario(
+            build_scenario_config("chord", "none", rng_mode="perpeer")
+        )
+        assert scenario.shard_id == 0
+        assert scenario.num_shards == 1
+        assert scenario.add_barrier_hook(lambda window: None) is False
