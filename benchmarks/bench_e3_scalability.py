@@ -513,7 +513,7 @@ def _storm_workload(num_nodes, rounds, fanout, store_base=None):
 
 
 def _sharded_storm_config(num_nodes, shards, seed=3,
-                          control_plane="replicated", wal=None):
+                          control_plane="replicated", wal=None, faults=None):
     from repro.sim.distribution import ShardSpec
     from repro.sim.scenario import ScenarioConfig
 
@@ -526,21 +526,24 @@ def _sharded_storm_config(num_nodes, shards, seed=3,
         shard=ShardSpec(num_peers=num_nodes),
         control_plane=control_plane if shards else "replicated",
         wal=wal,
+        faults=faults,
         seed=seed,
     )
 
 
 def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
-                      control_plane="replicated", wal=None, store_base=None):
+                      control_plane="replicated", wal=None, store_base=None,
+                      faults=None):
     """One sharded storm run; returns (elapsed, digest, delivered, windows,
-    max-per-worker construction cost, exchange summary)."""
+    max-per-worker construction cost, exchange summary, fault counters)."""
     from repro.sim.shard import ShardedScenario
 
     workload = _storm_workload(num_nodes, rounds, fanout,
                                store_base=store_base)
     start = time.perf_counter()
     run = ShardedScenario(
-        _sharded_storm_config(num_nodes, shards, seed, control_plane, wal),
+        _sharded_storm_config(num_nodes, shards, seed, control_plane, wal,
+                              faults),
         executor=executor,
     ).run(workload)
     elapsed = time.perf_counter() - start
@@ -551,7 +554,7 @@ def run_sharded_storm(num_nodes, shards, executor, rounds, fanout, seed=3,
     }
     return (
         elapsed, run.digest(), delivered, run.windows, cost,
-        run.stats.exchange_summary(),
+        run.stats.exchange_summary(), dict(run.stats.faults),
     )
 
 
@@ -573,13 +576,15 @@ def run_unsharded_storm(num_nodes, rounds, fanout, seed=3, store_base=None):
         0,
         cost,
         {},
+        {},
     )
 
 
 def _storm_configs():
-    """(label, shards, executor, control_plane, repeats, wal, pair, store)
-    per E3e row.  Rows sharing a ``pair`` tag are measured with their
-    repeats interleaved run-for-run (see :func:`run_sharded_storm_rows`)."""
+    """(label, shards, executor, control_plane, repeats, wal, pair, store,
+    faults) per E3e row.  Rows sharing a ``pair`` tag are measured with
+    their repeats interleaved run-for-run (see
+    :func:`run_sharded_storm_rows`)."""
     nodes = SHARDED_STORM_NODES
     k = SHARDED_STORM_SHARDS
     configs = [
@@ -588,8 +593,9 @@ def _storm_configs():
         # API.  Best-of-three interleaved like the WAL pairs; the <10%
         # ingest-overhead bar divides the two minima, and the store row's
         # digest must join the all-equal set (ingest is accounting-only).
-        ("unsharded", 0, None, "replicated", 3, False, "store", False),
-        ("unsharded store", 0, None, "replicated", 3, False, "store", True),
+        ("unsharded", 0, None, "replicated", 3, False, "store", False, None),
+        ("unsharded store", 0, None, "replicated", 3, False, "store", True,
+         None),
         # The WAL axis: the same storms with every window barrier logged
         # (frames + cursors + deltas) to the write-ahead log.  Their digests
         # must join the all-equal set and their wall-clock prices the
@@ -598,27 +604,38 @@ def _storm_configs():
         # interleaved, so the overhead ratio divides minima from the same
         # time neighborhood instead of rows measured minutes apart.
         (f"serial k{k}", k, "serial", "replicated", 3, False, "serial-wal",
-         False),
+         False, None),
         (f"serial k{k} wal", k, "serial", "replicated", 3, True,
-         "serial-wal", False),
-        (f"mp k{k}", k, "mp", "replicated", 3, False, "mp-wal", False),
-        (f"mp k{k} wal", k, "mp", "replicated", 3, True, "mp-wal", False),
+         "serial-wal", False, None),
+        (f"mp k{k}", k, "mp", "replicated", 3, False, "mp-wal", False, None),
+        (f"mp k{k} wal", k, "mp", "replicated", 3, True, "mp-wal", False,
+         None),
         # The tcp executor (PR 8): the same storm with shard workers as
         # socket-connected processes over localhost — prices the wire
         # protocol (frame blobs riding sync/decision messages through the
         # coordinator) against mp's shared-memory rings.  Digests must
         # join the all-equal set like every other row.
-        (f"tcp k{k}", k, "tcp", "replicated", 2, False, None, False),
-        (f"tcp k{k} dir", k, "tcp", "directory", 2, False, None, False),
+        (f"tcp k{k}", k, "tcp", "replicated", 2, False, None, False, None),
+        (f"tcp k{k} dir", k, "tcp", "directory", 2, False, None, False,
+         None),
+        # The fault plane (PR 10): the same tcp storm with a seeded
+        # worker-crash schedule.  One worker calls os._exit at a window
+        # barrier; the coordinator respawns the slot, replays the WAL
+        # prefix, and the run's digest must still join the all-equal set —
+        # the recovered fleet is byte-identical to the fault-free rows.
+        # The row writes its own log so the shared WAL rows (whose size
+        # and commit the assertions below inspect) stay unpolluted.
+        (f"tcp k{k} faults", k, "tcp", "replicated", 1, True, None, False,
+         "seed=3,crash@2"),
     ]
     for dk in DIRECTORY_STORM_SHARDS:
         # Best-of-two on the K=8 pair (it carries the speedup bar); the
         # K=16 oversubscription row is informational and runs once.
         repeats = 2 if dk <= 8 else 1
         configs.append((f"serial k{dk} dir", dk, "serial", "directory",
-                        repeats, False, None, False))
+                        repeats, False, None, False, None))
         configs.append((f"mp k{dk} dir", dk, "mp", "directory", repeats,
-                        False, None, False))
+                        False, None, False, None))
     return configs
 
 
@@ -629,6 +646,7 @@ def run_sharded_storm_rows():
     rows = []
     bench_entries = []
     wal_path = RESULTS_DIR / "e3_storm.wal"
+    faults_wal_path = RESULTS_DIR / "e3_storm_faults.wal"
     store_base = RESULTS_DIR / "e3_storm_trace"
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     configs = _storm_configs()
@@ -639,7 +657,13 @@ def run_sharded_storm_rows():
         for stale in RESULTS_DIR.glob("e3_storm_trace.*"):
             stale.unlink()
 
-    def run_once(shards, executor, plane, wal, store):
+    def _wal_file(faults):
+        # The faulted row both writes and replays its log mid-run, so it
+        # gets a dedicated file — the shared WAL (size/commit asserted
+        # below) must reflect the clean mp/serial rows only.
+        return faults_wal_path if faults else wal_path
+
+    def run_once(shards, executor, plane, wal, store, faults):
         if store:
             _clear_store_files()
         base = str(store_base) if store else None
@@ -650,8 +674,9 @@ def run_sharded_storm_rows():
             nodes, shards, executor, rounds, fanout, control_plane=plane,
             # each repeat rewrites the log from scratch, so the timed
             # work always includes the full checkpoint stream
-            wal=str(wal_path) if wal else None,
+            wal=str(_wal_file(faults)) if wal else None,
             store_base=base,
+            faults=faults,
         )
 
     # Measure, best of `repeats`.  Adjacent configs sharing a `pair` tag
@@ -672,9 +697,9 @@ def run_sharded_storm_rows():
         samples = {config[0]: [] for config in group}
         for _ in range(group[0][4]):
             for (label, shards, executor, plane, _repeats, wal, _tag,
-                 store) in group:
+                 store, faults) in group:
                 samples[label].append(
-                    run_once(shards, executor, plane, wal, store)
+                    run_once(shards, executor, plane, wal, store, faults)
                 )
         for label, runs in samples.items():
             best[label] = min(runs, key=lambda r: r[0])
@@ -710,8 +735,22 @@ def run_sharded_storm_rows():
     )
 
     for (label, shards, executor, plane, repeats, wal, _tag,
-         store) in configs:
-        elapsed, digest, delivered, windows, cost, exchange = best[label]
+         store, fault_spec) in configs:
+        (elapsed, digest, delivered, windows, cost, exchange,
+         fault_counters) = best[label]
+        if fault_spec:
+            # The self-healing contract at bench scale: the schedule's
+            # crash actually fired, a replacement was respawned and caught
+            # up via WAL replay — and the digest still joins the all-equal
+            # set asserted by the caller.
+            assert fault_counters.get("respawns", 0) >= 1, (
+                f"{label}: fault schedule {fault_spec!r} produced no "
+                f"respawns ({fault_counters})"
+            )
+            assert fault_counters.get("replayed_windows", 0) >= 1, (
+                f"{label}: recovery never replayed a WAL window "
+                f"({fault_counters})"
+            )
         messages = nodes * rounds * fanout
         rows.append(
             [
@@ -749,7 +788,14 @@ def run_sharded_storm_rows():
                     "queue_fallbacks", 0
                 ),
                 "wal": wal,
-                "wal_bytes": os.path.getsize(wal_path) if wal else 0,
+                "wal_bytes": (
+                    os.path.getsize(_wal_file(fault_spec)) if wal else 0
+                ),
+                "faults": fault_spec,
+                "respawns": fault_counters.get("respawns", 0),
+                "replayed_windows": fault_counters.get(
+                    "replayed_windows", 0
+                ),
                 "trace_store": store,
                 "trace_db_bytes": (
                     os.path.getsize(merged_path) if store else 0

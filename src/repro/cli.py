@@ -78,6 +78,7 @@ def _build_system(args: argparse.Namespace, algorithm: str) -> P2PDocTaggerSyste
             tcp_hosts=args.hosts,
             wal=args.wal,
             resume=args.resume,
+            faults=args.faults,
             train_fraction=args.train_fraction,
             threshold=args.threshold,
             seed=args.seed,
@@ -137,13 +138,28 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--wal", default=None, metavar="PATH",
         help="checkpoint the sharded run's window stream to this "
-        "write-ahead log (requires --shards >= 1)",
+        "write-ahead log; on --executor tcp the log doubles as the replay "
+        "source for --faults in-run worker recovery "
+        "(requires --shards >= 1)",
     )
     parser.add_argument(
         "--resume", default=None, metavar="PATH",
         help="resume from a write-ahead log via verified prefix replay; "
         "combine with --wal NEW to re-log to a fresh file "
         "(requires --shards >= 1)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="seeded deterministic fault injection for the tcp fleet: "
+        "comma-separated 'kind[*count][@window[:shard]]' entries plus "
+        "'seed=N', 'horizon=N', 'stall_s=F' knobs; kinds: crash, stall, "
+        "halfopen, corrupt, truncate, tear. The schedule draws from its "
+        "own RNG stream so the final digest is byte-identical to the "
+        "fault-free run. With --wal PATH the coordinator self-heals "
+        "(respawns crashed workers and replays them from the log, bounded "
+        "by REPRO_TCP_MAX_RESPAWNS); without --wal an injected crash "
+        "degrades gracefully to a loud abort naming the missing "
+        "checkpoint (requires --executor tcp, --shards >= 1)",
     )
     parser.add_argument("--train-fraction", type=float, default=0.2)
     parser.add_argument("--threshold", type=float, default=0.5)
@@ -165,6 +181,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             line += (
                 f" control_records={run.control_records} "
                 f"control_bytes={run.control_bytes}"
+            )
+        faults = getattr(run.stats, "faults", None)
+        if faults:
+            line += (
+                f" respawns={faults.get('respawns', 0)} "
+                f"replayed_windows={faults.get('replayed_windows', 0)}"
             )
         print(line)
     if args.tune_thresholds:
@@ -334,7 +356,9 @@ def cmd_worker(args: argparse.Namespace) -> int:
     from repro.sim.tcpexec import parse_address, worker_main
 
     host, port = parse_address(args.connect)
-    return worker_main(host, port, shard=args.shard)
+    return worker_main(
+        host, port, shard=args.shard, backoff_seed=args.backoff_seed
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -419,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument(
         "--shard", type=int, default=-1,
         help="shard id to claim (-1 lets the coordinator assign one)",
+    )
+    p_worker.add_argument(
+        "--backoff-seed", type=int, default=0, dest="backoff_seed",
+        help="seed for the reconnect-backoff jitter (the coordinator "
+        "passes the fault plane's seed through; 0 = unseeded default)",
     )
     p_worker.set_defaults(func=cmd_worker)
 

@@ -64,6 +64,10 @@ class SystemConfig:
     #: verified prefix replay; used when shards >= 1
     wal: Optional[str] = None
     resume: Optional[str] = None
+    #: seeded fault-injection schedule (repro.sim.faults) for the tcp
+    #: sharded replay's self-healing fleet; requires executor="tcp" and,
+    #: for in-run recovery rather than a loud abort, a wal path
+    faults: Optional[str] = None
     mean_session: float = 600.0
     mean_downtime: float = 60.0
     train_fraction: float = 0.2  # the paper's 20 % manual-tag protocol
@@ -99,6 +103,11 @@ class SystemConfig:
             raise ConfigurationError(
                 "the simulation WAL records the sharded kernel's window "
                 "stream (set shards >= 1 to use wal/resume)"
+            )
+        if self.faults and self.shards < 1:
+            raise ConfigurationError(
+                "fault injection targets the sharded tcp fleet "
+                "(set shards >= 1 to use faults)"
             )
 
 
@@ -432,6 +441,7 @@ class P2PDocTaggerSystem:
             control_plane=self.config.control_plane,
             wal=self.config.wal,
             resume=self.config.resume,
+            faults=self.config.faults,
             tcp_hosts=self.config.tcp_hosts,
         )
         workload = _ShardedTrainingWorkload(

@@ -90,6 +90,13 @@ class ScenarioConfig:
     #: log plumbing, not physics — they never change the event stream and
     #: are excluded from the WAL's own config fingerprint.
     resume: Optional[str] = None
+    #: seeded fault-injection schedule (repro.sim.faults.FaultPlan spec,
+    #: e.g. "seed=7,crash@2") for the tcp executor's self-healing fleet.
+    #: Like the tcp placement fields this is execution shape, not physics
+    #: — the schedule draws from its own splitmix64 stream, recovery
+    #: replays the WAL prefix, and golden digests cannot move — so it is
+    #: excluded from the WAL config fingerprint.
+    faults: Optional[str] = None
     seed: int = 0
 
     def validate(self) -> None:
@@ -147,6 +154,15 @@ class ScenarioConfig:
                 "the simulation WAL hooks the sharded kernel's window "
                 "barriers (set shards >= 1 to use wal/resume)"
             )
+        if self.faults:
+            if self.shards < 1:
+                raise ConfigurationError(
+                    "fault injection targets the sharded tcp fleet "
+                    "(set shards >= 1 to use faults)"
+                )
+            from repro.sim.faults import FaultPlan
+
+            FaultPlan.parse(self.faults)  # grammar errors surface here
         if self.shard.num_peers != self.num_peers:
             raise ConfigurationError(
                 "shard.num_peers must equal num_peers "

@@ -103,6 +103,7 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.churn import DirectoryChurnClient
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan
 from repro.sim.exchange import (
     ExchangeFrame,
     RingExchange,
@@ -439,6 +440,11 @@ class _ShardRuntime:
         #: outside the event stream and must not schedule events or draw
         #: from simulation RNGs
         self.barrier_hooks: List[Callable[[int], None]] = []
+        #: fault plane (repro.sim.faults): installed by the tcp worker to
+        #: fire this shard's injected process faults (crash/stall/half-
+        #: open) with the window index at each barrier, after the
+        #: accounting hooks and before the sync
+        self.fault_hook: Optional[Callable[[int], None]] = None
 
     def request_control(self, kind: str, time: float) -> None:
         """Queue a control request for the next window barrier."""
@@ -518,6 +524,8 @@ class ShardSimulator(Simulator):
         while True:
             for hook in runtime.barrier_hooks:
                 hook(runtime.windows)
+            if runtime.fault_hook is not None:
+                runtime.fault_hook(runtime.windows)
             decision = runtime.channel.sync(
                 runtime.take_outbound(),
                 self.next_event_time(),
@@ -944,6 +952,9 @@ class _Channel:
 
     def __init__(self) -> None:
         self.exchange: Counter = Counter()
+        #: worker-side fault-plane accounting (stalls survived etc.),
+        #: folded into ``StatsCollector.faults`` like :attr:`exchange`
+        self.faults: Counter = Counter()
 
     def sync(
         self,
@@ -1110,6 +1121,10 @@ def _worker_body(
     # parent-side like the directory counters, never fingerprinted.
     if runtime.channel.exchange:
         scenario.stats.exchange.update(runtime.channel.exchange)
+    # Same for the worker-side fault-plane counters (survived stalls):
+    # execution-shape accounting, merged but never fingerprinted.
+    if runtime.channel.faults:
+        scenario.stats.faults.update(runtime.channel.faults)
     if probe is not None:
         # Fourth element: the WAL tail (post-barrier stats delta + final
         # cursors), sealed into the commit record coordinator-side.
@@ -1121,7 +1136,7 @@ def _run_serial(
     config: ScenarioConfig, workload: Workload, num_shards: int,
     lookahead: float, plane: Optional[DirectoryControlPlane] = None,
     use_frames: bool = True, wal: Optional[WalSession] = None,
-) -> Tuple[List[tuple], int]:
+) -> Tuple[List[tuple], int, Counter]:
     to_coordinator: "queue.Queue" = queue.Queue()
     from_coordinator = [queue.Queue() for _ in range(num_shards)]
     snapshot = plane.snapshot if plane is not None else None
@@ -1235,7 +1250,9 @@ def _run_serial(
             )
     for thread in threads:
         thread.join(timeout=30.0)
-    return payloads, windows
+    # Third element: coordinator-side fault/recovery counters — always
+    # empty here (only the tcp supervision loop injects and recovers).
+    return payloads, windows, Counter()
 
 
 # ---------------------------------------------------------------------------
@@ -1477,7 +1494,7 @@ def _run_mp(
     config: ScenarioConfig, workload: Workload, num_shards: int,
     lookahead: float, plane: Optional[DirectoryControlPlane] = None,
     use_frames: bool = True, wal: Optional[WalSession] = None,
-) -> Tuple[List[tuple], int]:
+) -> Tuple[List[tuple], int, Counter]:
     context = _mp_context()
     data_queues = [context.Queue() for _ in range(num_shards)]
     parent_connections = []
@@ -1665,7 +1682,7 @@ def _run_mp(
             data_queue.close()
         if rings is not None:
             rings.destroy()
-    return payloads, windows
+    return payloads, windows, Counter()
 
 
 # ---------------------------------------------------------------------------
@@ -1742,6 +1759,23 @@ class ShardedScenario:
             runner = run_tcp
         else:
             runner = _run_serial if self.executor == "serial" else _run_mp
+        plan = FaultPlan.parse(self.config.faults)
+        if plan is not None and self.executor != "tcp":
+            # Enforced here, not in validate(): the executor argument can
+            # override config.executor, and only the tcp fleet has the
+            # supervision loop (and separate worker processes) the fault
+            # plane targets — os._exit under serial/mp would kill the run.
+            raise ConfigurationError(
+                "fault injection (config.faults) targets the tcp "
+                "executor's self-healing fleet; the serial/mp executors "
+                "have no supervision loop to recover injected faults "
+                f"(this run uses executor={self.executor!r})"
+            )
+        if plan is not None and self.config.resume:
+            # Injected torn tails apply to the resume log before the
+            # WalSession opens it — WalReader discards the torn record
+            # and the run replays the shorter verified prefix.
+            plan.apply_wal_tears(self.config.resume, self.config.shards)
         plane = (
             DirectoryControlPlane(self.config)
             if self.config.control_plane == "directory"
@@ -1752,13 +1786,14 @@ class ShardedScenario:
         use_frames = not scalar_exchange_enabled()
         wal = (
             WalSession(
-                self.config, self.config.shards, self.lookahead, use_frames
+                self.config, self.config.shards, self.lookahead, use_frames,
+                retain_records=(self.executor == "tcp"),
             )
             if (self.config.wal or self.config.resume)
             else None
         )
         try:
-            payloads, windows = runner(
+            payloads, windows, run_faults = runner(
                 self.config, workload, self.config.shards, self.lookahead,
                 plane=plane, use_frames=use_frames, wal=wal,
             )
@@ -1772,6 +1807,10 @@ class ShardedScenario:
                 merged.merge(stats)
                 now = max(now, worker_now)
                 results.append(result)
+            # Coordinator-side fault/recovery accounting (respawns, WAL
+            # windows replayed, heartbeats) joins the workers' counters.
+            if run_faults:
+                merged.faults.update(run_faults)
             run = ShardedRun(
                 stats=merged,
                 now=now,

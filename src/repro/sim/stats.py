@@ -84,6 +84,17 @@ class StatsCollector:
         #: NEVER joins :meth:`fingerprint` — golden digests pin workload
         #: observables that must be identical across kernel shapes.
         self.exchange: Counter = Counter()
+        #: fault-plane and recovery accounting (repro.sim.faults plus the
+        #: tcp coordinator's supervision loop): worker deaths observed,
+        #: slots respawned, WAL windows replayed into recovered workers,
+        #: stale connections quarantined, heartbeats serviced, stalls
+        #: survived.  Same contract as :attr:`directory`/:attr:`exchange`:
+        #: injected faults and their recovery are execution-shape
+        #: artifacts — the fault plane's whole proof obligation is that
+        #: golden digests cannot move — so the family is merged by
+        #: :meth:`merge`, reported via :meth:`faults_summary`, and never
+        #: joins :meth:`fingerprint`.
+        self.faults: Counter = Counter()
         self.log = ActivityLog()
         #: True once any recorded message's wire size diverged from its raw
         #: size (i.e. a non-identity codec touched this collector).  Gates
@@ -244,6 +255,19 @@ class StatsCollector:
         """The shard-exchange counters (diagnostics; executor-dependent)."""
         return dict(sorted(self.exchange.items()))
 
+    # -- fault-plane / recovery accounting -----------------------------------
+
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Account one fault-plane or recovery event (outside the
+        fingerprint): ``worker_deaths``, ``respawns``,
+        ``replayed_windows``, ``quarantined_connections``,
+        ``heartbeats``, ``stalls``."""
+        self.faults[kind] += count
+
+    def faults_summary(self) -> Dict[str, int]:
+        """The fault/recovery counters (diagnostics; schedule-dependent)."""
+        return dict(sorted(self.faults.items()))
+
     # -- counters & series -------------------------------------------------------
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -264,12 +288,13 @@ class StatsCollector:
         checked against this structure: message/byte/hop counts by type,
         per-peer sent/received bytes, and named counters.  Time series and
         the activity log are excluded (they carry floats and free-form text,
-        not accounting), and so are the :attr:`directory` and
-        :attr:`exchange` counters — control-plane service traffic and
-        shard-exchange framing scale with the shard count and executor,
-        while the fingerprint pins observables that must be identical
-        across every kernel shape.  Keys are stringified so the snapshot
-        serializes to canonical JSON.
+        not accounting), and so are the :attr:`directory`,
+        :attr:`exchange`, and :attr:`faults` counters — control-plane
+        service traffic, shard-exchange framing, and fault/recovery
+        events scale with the shard count, executor, and injected fault
+        schedule, while the fingerprint pins observables that must be
+        identical across every kernel shape.  Keys are stringified so
+        the snapshot serializes to canonical JSON.
 
         The wire-byte counters appear only once compressed traffic exists:
         under the identity codec wire == raw everywhere, and the snapshot —
@@ -351,6 +376,7 @@ class StatsCollector:
         self.counters.update(other.counters)
         self.directory.update(other.directory)
         self.exchange.update(other.exchange)
+        self.faults.update(other.faults)
         self.per_peer_bytes.update(other.per_peer_bytes)
         self.per_peer_wire_bytes.update(other.per_peer_wire_bytes)
         self.per_peer_received.update(other.per_peer_received)
@@ -363,8 +389,8 @@ class StatsCollector:
     #: the counter families :meth:`fingerprint` is built from — exactly the
     #: state the WAL must log per window for prefix replay to reproduce the
     #: final digest.  ``series``/``log`` (not fingerprinted, unbounded) and
-    #: ``directory``/``exchange`` (execution-shape artifacts, see above) are
-    #: deliberately excluded.
+    #: ``directory``/``exchange``/``faults`` (execution-shape artifacts,
+    #: see above) are deliberately excluded.
     _DELTA_FAMILIES = (
         "messages_by_type", "bytes_by_type", "wire_bytes_by_type",
         "hops_by_type", "counters", "per_peer_bytes",

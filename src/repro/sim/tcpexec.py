@@ -34,16 +34,41 @@ worker:
   and answers per-shard ``DECISION`` frames (window start, inbound blobs
   in src-shard order, directory control records).  There is no
   worker-to-worker connection: the coordinator is the exchange fabric.
+- **liveness**: each worker runs a ``PING`` heartbeat (every quarter of
+  the read deadline) answered with ``PONG``; both sides treat heartbeat
+  frames as pure liveness traffic and skip them when waiting for a
+  protocol frame.  A long compute window (or an injected stall) keeps
+  pinging and is *not* dead; a half-open socket stops pinging and is.
 - **completion**: ``DONE`` returns the worker's payload (stats, clock,
   result, WAL tail); ``BYE`` releases the worker once results landed.
 
 Robustness: :func:`connect_with_retry` retries the coordinator
 connection on a capped exponential backoff (``REPRO_TCP_RETRIES``
-attempts), and every read carries the ``REPRO_TCP_TIMEOUT_S`` deadline —
-a worker that dies mid-window (or a half-open peer) surfaces as a loud
-``worker N died mid-window`` :class:`SimulationError` at the next read,
-never a hang, and the coordinator aborts the rest of the fleet and tears
-down every socket and spawned process on any failure.
+attempts, optionally seeded-jittered so K recovering workers don't
+reconnect in lockstep), and every read carries the
+``REPRO_TCP_TIMEOUT_S`` deadline — a worker that dies mid-window (or a
+half-open peer) surfaces as a loud ``worker N died mid-window``
+:class:`SimulationError`, never a hang.
+
+Self-healing (the fault plane's recovery side)
+----------------------------------------------
+
+When a run carries a WAL (``--wal``), a worker death mid-window is no
+longer fleet-fatal: the coordinator's supervision loop quarantines the
+dead connection, respawns the slot per its ``--hosts`` placement
+(bounded by ``REPRO_TCP_MAX_RESPAWNS``), handshakes the replacement
+with a ``RECOVER`` frame (``WELCOME`` plus the barrier to replay to,
+fingerprint-checked the same way), and replays it to the current
+barrier from the WAL's retained window records: the newcomer re-executes
+the workload from scratch, every replayed sync is verified field-by-
+field (and frame-blob byte-for-byte) against the log, and the logged
+decisions are served back — so by the time it reaches the live barrier
+it is bit-identical to the worker it replaced, and the run's final
+digest cannot move.  Stale or duplicate connections that dial in during
+recovery are rejected and counted as quarantined.  Without a WAL the
+crash degrades gracefully to the pre-recovery behavior: a loud abort
+naming the missing checkpoint.  All recovery accounting lands in the
+``StatsCollector.faults`` family (never fingerprinted).
 
 The WAL integrates unchanged: the coordinator owns the log
 (:class:`~repro.sim.wal.WalSession` never leaves its process), workers
@@ -70,23 +95,27 @@ import hashlib
 import json
 import os
 import pickle
+import select
 import socket
 import struct
 import subprocess
 import sys
+import threading
 import time
 import traceback
 from collections import Counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.envutil import env_float, env_int
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.exchange import ExchangeFrame, encode_outbound_blobs
+from repro.sim.faults import FaultPlan, mix64, splitmix64
 from repro.sim.wal import config_fingerprint
 
 _INF = float("inf")
 
-PROTOCOL_VERSION = 1
+#: v2 added the liveness heartbeat (PING/PONG) and the RECOVER handshake
+PROTOCOL_VERSION = 2
 
 _WIRE_MAGIC = 0x52545031  # "RTP1"
 #: magic, kind, payload length
@@ -105,9 +134,19 @@ _K_DONE = 7
 _K_ERROR = 8
 _K_ABORT = 9
 _K_BYE = 10
+#: WELCOME's recovery twin: same fields plus the barrier to replay to
+_K_RECOVER = 11
+#: worker-initiated liveness heartbeat and the coordinator's echo
+_K_PING = 12
+_K_PONG = 13
+
+#: internal supervision-loop sentinel (never on the wire): a shard whose
+#: connection died before delivering a protocol frame
+_K_DEAD = -1
 
 TCP_TIMEOUT_ENV = "REPRO_TCP_TIMEOUT_S"
 TCP_RETRIES_ENV = "REPRO_TCP_RETRIES"
+TCP_MAX_RESPAWNS_ENV = "REPRO_TCP_MAX_RESPAWNS"
 
 
 def tcp_timeout_seconds() -> float:
@@ -123,12 +162,37 @@ def tcp_retries() -> int:
     return env_int(TCP_RETRIES_ENV, 8, minimum=1, error=SimulationError)
 
 
+def tcp_max_respawns() -> int:
+    """Worker respawns the supervision loop may perform per run before a
+    death becomes fleet-fatal (>= 0; 0 disables in-run recovery)."""
+    return env_int(TCP_MAX_RESPAWNS_ENV, 3, minimum=0, error=SimulationError)
+
+
 def backoff_schedule(
-    retries: int, base: float = 0.05, cap: float = 1.0
+    retries: int,
+    base: float = 0.05,
+    cap: float = 1.0,
+    jitter_seed: Optional[int] = None,
 ) -> List[float]:
     """The capped-exponential sleep schedule between connection attempts:
-    ``base * 2^i`` clamped to ``cap``, one entry per retry gap."""
-    return [min(cap, base * (2.0 ** i)) for i in range(max(0, retries - 1))]
+    ``base * 2^i`` clamped to ``cap``, one entry per retry gap.
+
+    With ``jitter_seed`` each delay is scaled by a factor in [0.5, 1.0)
+    drawn from the fault plane's splitmix64 stream — K recovering workers
+    seeded differently spread their reconnects out instead of dialing in
+    lockstep (the thundering herd), while the whole schedule stays
+    reproducible from the seed.  ``None`` keeps the exact unjittered
+    schedule.
+    """
+    delays = [min(cap, base * (2.0 ** i)) for i in range(max(0, retries - 1))]
+    if jitter_seed is None:
+        return delays
+    state = jitter_seed
+    jittered = []
+    for delay in delays:
+        state, value = splitmix64(state)
+        jittered.append(delay * (0.5 + (value >> 11) / float(1 << 54)))
+    return jittered
 
 
 def fingerprint_digest(config: Any) -> str:
@@ -256,13 +320,15 @@ def connect_with_retry(
     port: int,
     retries: Optional[int] = None,
     timeout: Optional[float] = None,
+    jitter_seed: Optional[int] = None,
 ) -> socket.socket:
     """Dial the coordinator, retrying refused/unreachable connections on
-    the capped backoff schedule — workers routinely start before the
-    coordinator's listener is up."""
+    the capped backoff schedule (seeded-jittered when ``jitter_seed`` is
+    given) — workers routinely start before the coordinator's listener is
+    up, and recovering workers must not reconnect in lockstep."""
     retries = tcp_retries() if retries is None else retries
     timeout = tcp_timeout_seconds() if timeout is None else timeout
-    delays = backoff_schedule(retries)
+    delays = backoff_schedule(retries, jitter_seed=jitter_seed)
     last_error: Optional[OSError] = None
     for attempt in range(retries):
         try:
@@ -284,18 +350,68 @@ def connect_with_retry(
 # ---------------------------------------------------------------------------
 
 
+class _Heartbeat(threading.Thread):
+    """The worker's PING pump: one liveness frame every quarter of the
+    read deadline, sharing the send lock with the protocol frames so a
+    heartbeat can never interleave into a sync's bytes."""
+
+    def __init__(
+        self, sock: socket.socket, lock: threading.Lock, interval: float
+    ) -> None:
+        super().__init__(daemon=True, name="repro-tcp-heartbeat")
+        self._sock = sock
+        self._lock = lock
+        self._interval = interval
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self._stopped.wait(self._interval):
+            try:
+                with self._lock:
+                    send_frame(self._sock, _K_PING)
+            except Exception:
+                # Socket gone (run over, or the coordinator died): the
+                # main thread surfaces that loudly; the heartbeat just
+                # stops beating.
+                return
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
 class _TcpChannel:
     """Worker-side barrier endpoint: syncs up, decisions down, exchange
     frames riding both as encoded blobs (the coordinator routes them)."""
 
     def __init__(
-        self, sock: socket.socket, shard_id: int, num_shards: int
+        self,
+        sock: socket.socket,
+        shard_id: int,
+        num_shards: int,
+        lock: Optional[threading.Lock] = None,
+        injector: Any = None,
     ) -> None:
         self.exchange = Counter()
+        self.faults = Counter()
         self.sock = sock
         self.shard_id = shard_id
         self.num_shards = num_shards
+        #: shared with the heartbeat thread: all sends are serialized
+        self.lock = lock if lock is not None else threading.Lock()
+        #: fault plane (repro.sim.faults.FaultInjector) — wire faults
+        #: replace this barrier's sync frame; None on clean and
+        #: RECOVER-ed workers
+        self.injector = injector
         self._barrier = 0
+
+    def _recv_protocol(self, context: str) -> Tuple[int, bytes]:
+        """Next non-heartbeat frame; every PONG skipped refreshes the
+        read deadline, so a worker parked behind a slow (or recovering)
+        sibling shard never starves while its heartbeat is answered."""
+        while True:
+            kind, payload = recv_frame(self.sock, context)
+            if kind != _K_PONG:
+                return kind, payload
 
     def sync(
         self, outbound, next_time, last_time, executed, requests, extras=None
@@ -307,17 +423,36 @@ class _TcpChannel:
         blobs, min_outbound = encode_outbound_blobs(
             outbound, barrier, self.exchange
         )
-        send_frame(
-            self.sock,
-            _K_SYNC,
-            pickle.dumps(
-                (next_time, last_time, executed, min_outbound, requests,
-                 extras, blobs),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            ),
+        payload = pickle.dumps(
+            (next_time, last_time, executed, min_outbound, requests,
+             extras, blobs),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
-        kind, payload = recv_frame(
-            self.sock,
+        fault = (
+            self.injector.wire_fault(barrier)
+            if self.injector is not None
+            else None
+        )
+        if fault is not None:
+            # Mangle this barrier's sync on the wire, then die without
+            # releasing the lock — no heartbeat may follow the bad bytes.
+            with self.lock:
+                if fault == "corrupt":
+                    self.sock.sendall(
+                        _WIRE_HEADER.pack(0x0BADF00D, _K_SYNC, len(payload))
+                        + payload
+                    )
+                else:  # truncate: promise more bytes than ever arrive
+                    self.sock.sendall(
+                        _WIRE_HEADER.pack(
+                            _WIRE_MAGIC, _K_SYNC, len(payload) + 64
+                        )
+                        + payload
+                    )
+                os._exit(3)
+        with self.lock:
+            send_frame(self.sock, _K_SYNC, payload)
+        kind, payload = self._recv_protocol(
             f"shard {self.shard_id} waiting for the window decision at "
             f"barrier {barrier}",
         )
@@ -350,14 +485,16 @@ class _TcpChannel:
         )
 
     def finish(self, payload: Any) -> None:
-        send_frame(
-            self.sock,
-            _K_DONE,
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        with self.lock:
+            send_frame(
+                self.sock,
+                _K_DONE,
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            )
 
     def fail(self, message: str) -> None:
-        send_frame(self.sock, _K_ERROR, message.encode("utf-8"))
+        with self.lock:
+            send_frame(self.sock, _K_ERROR, message.encode("utf-8"))
 
     def _frames_from_outbound(self, outbound):  # pragma: no cover
         # _Channel API parity; the tcp channel always encodes to blobs.
@@ -370,6 +507,7 @@ def worker_main(
     shard: int = -1,
     retries: Optional[int] = None,
     timeout: Optional[float] = None,
+    backoff_seed: int = 0,
 ) -> int:
     """One tcp shard worker: connect, handshake, run the window protocol.
 
@@ -377,8 +515,17 @@ def worker_main(
     coordinator's BYE, or its disappearance after our DONE landed), 1 on
     any failure — which is also reported to the coordinator as an ERROR
     frame when the socket still stands.
+
+    ``backoff_seed`` seeds the reconnect jitter (mixed with the shard
+    claim, so siblings spread out); the coordinator passes the fault
+    plane's seed through so recovery timing stays reproducible.
     """
-    sock = connect_with_retry(host, port, retries=retries, timeout=timeout)
+    timeout = tcp_timeout_seconds() if timeout is None else timeout
+    sock = connect_with_retry(
+        host, port, retries=retries, timeout=timeout,
+        jitter_seed=mix64(backoff_seed, shard),
+    )
+    heartbeat: Optional[_Heartbeat] = None
     try:
         send_frame(
             sock,
@@ -394,8 +541,15 @@ def worker_main(
                 "tcp coordinator rejected this worker: "
                 + payload.decode("utf-8", "replace")
             )
-        if kind != _K_WELCOME:
+        if kind not in (_K_WELCOME, _K_RECOVER):
             raise SimulationError(f"{context}: unexpected frame kind {kind}")
+        # RECOVER is WELCOME's twin for a respawned slot: same fields and
+        # checks, plus the barrier the coordinator will replay us to.  A
+        # recovering worker runs the workload exactly as a fresh one —
+        # replay is transparent (the coordinator serves logged decisions)
+        # — but must NOT re-arm the fault injector, or the fault that
+        # killed its predecessor would fire again and recovery would loop.
+        recovering = kind == _K_RECOVER
         welcome = json.loads(payload.decode("utf-8"))
         if welcome.get("version") != PROTOCOL_VERSION:
             message = (
@@ -442,7 +596,24 @@ def worker_main(
 
         from repro.sim.shard import _ShardRuntime, _worker_body
 
-        channel = _TcpChannel(sock, shard_id, job["num_shards"])
+        plan = FaultPlan.parse(getattr(job["config"], "faults", None))
+        injector = None
+        if plan is not None and not recovering:
+            injector = plan.injector(
+                shard_id,
+                job["num_shards"],
+                blackhole_s=2.0 * timeout + 1.0,
+            )
+        lock = threading.Lock()
+        channel = _TcpChannel(
+            sock, shard_id, job["num_shards"], lock=lock, injector=injector
+        )
+        if injector is not None:
+            injector.counters = channel.faults
+        heartbeat = _Heartbeat(sock, lock, max(0.05, timeout / 4.0))
+        if injector is not None:
+            injector.bind_heartbeat(heartbeat)
+        heartbeat.start()
         try:
             runtime = _ShardRuntime(
                 shard_id,
@@ -451,6 +622,8 @@ def worker_main(
                 job["lookahead"],
                 snapshot=job.get("snapshot"),
             )
+            if injector is not None:
+                runtime.fault_hook = injector.at_barrier
             channel.finish(
                 _worker_body(
                     job["config"], job["workload"], runtime,
@@ -465,12 +638,17 @@ def worker_main(
             return 1
         try:
             # The coordinator's BYE confirms the results landed; its
-            # disappearance after our DONE is equally fine.
-            recv_frame(sock, f"worker (shard {shard_id}) awaiting bye")
+            # disappearance after our DONE is equally fine.  PONGs for
+            # in-flight heartbeats may arrive first — pure liveness, skip.
+            channel._recv_protocol(
+                f"worker (shard {shard_id}) awaiting bye"
+            )
         except SimulationError:
             pass
         return 0
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
         try:
             sock.close()
         except OSError:  # pragma: no cover - close races
@@ -486,7 +664,9 @@ class TcpCoordinator:
     """The listening side of a tcp run: spawns/accepts K workers, drives
     the barrier loop, routes exchange blobs, owns the directory plane and
     the WAL — the :func:`repro.sim.shard._run_mp` control flow with the
-    pipes and rings replaced by one socket per worker."""
+    pipes and rings replaced by one socket per worker, plus a supervision
+    loop that answers heartbeats and (on WAL runs) respawns and replays
+    workers that die mid-window."""
 
     def __init__(
         self,
@@ -513,6 +693,18 @@ class TcpCoordinator:
         self.processes: List[Tuple[int, subprocess.Popen]] = []
         #: connections refused during assembly (garbage, duplicate claims)
         self.rejected = 0
+        #: fault/recovery accounting: merged into the run's
+        #: ``StatsCollector.faults`` family (never fingerprinted)
+        self.faults = Counter()
+        #: worker deaths observed while not awaited — surfaced when the
+        #: supervision loop next awaits that shard
+        self._failed: Dict[int, str] = {}
+        self._respawn_budget = tcp_max_respawns()
+        #: reconnect-jitter base handed to spawned workers: the fault
+        #: plane's seed when one is configured, so recovery timing is
+        #: reproducible from the same knob that schedules the faults
+        plan = FaultPlan.parse(getattr(config, "faults", None))
+        self._backoff_seed = plan.seed if plan is not None else 0
 
     # -- fleet assembly ------------------------------------------------------
 
@@ -537,27 +729,31 @@ class TcpCoordinator:
             "-m", "repro.cli", "worker",
             "--connect", f"{host}:{port}",
             "--shard", str(shard_id),
+            "--backoff-seed", str(self._backoff_seed),
         ]
+
+    def _spawn_one(self, shard_id: int, entry: str) -> None:
+        if entry == "wait":
+            return
+        if entry == "local":
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                dict.fromkeys(self._sys_path())
+            )
+            process = subprocess.Popen(
+                [sys.executable] + self._worker_command(shard_id),
+                env=env,
+            )
+        else:  # ssh:HOST — the remote python must have repro installed
+            process = subprocess.Popen(
+                ["ssh", entry[len("ssh:"):], "python3"]
+                + self._worker_command(shard_id)
+            )
+        self.processes.append((shard_id, process))
 
     def _spawn_workers(self) -> None:
         for shard_id, entry in enumerate(self.hosts):
-            if entry == "wait":
-                continue
-            if entry == "local":
-                env = dict(os.environ)
-                env["PYTHONPATH"] = os.pathsep.join(
-                    dict.fromkeys(self._sys_path())
-                )
-                process = subprocess.Popen(
-                    [sys.executable] + self._worker_command(shard_id),
-                    env=env,
-                )
-            else:  # ssh:HOST — the remote python must have repro installed
-                process = subprocess.Popen(
-                    ["ssh", entry[len("ssh:"):], "python3"]
-                    + self._worker_command(shard_id)
-                )
-            self.processes.append((shard_id, process))
+            self._spawn_one(shard_id, entry)
 
     @staticmethod
     def _sys_path() -> List[str]:
@@ -611,7 +807,14 @@ class TcpCoordinator:
         job_blob: bytes,
         fingerprint: str,
         sys_path: List[str],
+        recover_barrier: Optional[int] = None,
     ) -> None:
+        """One connection through HELLO → WELCOME/RECOVER → JOB → READY.
+
+        During recovery (``recover_barrier`` set) ``unclaimed`` holds
+        only the dead slot: any other claim — a stale duplicate of a
+        live worker included — is rejected and quarantined.
+        """
         context = "tcp coordinator handshaking a new connection"
         try:
             kind, payload = recv_frame(conn, context)
@@ -620,9 +823,13 @@ class TcpCoordinator:
             # Garbage, truncation, or silence: not a worker — drop the
             # connection, keep the slot open.
             self._reject(conn, None)
+            if recover_barrier is not None:
+                self.faults["quarantined_connections"] += 1
             return
         if kind != _K_HELLO or not isinstance(hello, dict):
             self._reject(conn, "expected a HELLO frame")
+            if recover_barrier is not None:
+                self.faults["quarantined_connections"] += 1
             return
         version = hello.get("version")
         if version != PROTOCOL_VERSION:
@@ -641,19 +848,24 @@ class TcpCoordinator:
                 f"shard id {claim} is already claimed or out of range "
                 f"(open slots: {sorted(unclaimed)})",
             )
+            if recover_barrier is not None:
+                self.faults["quarantined_connections"] += 1
             return
-        send_frame(
-            conn,
-            _K_WELCOME,
-            json.dumps(
-                {
-                    "version": PROTOCOL_VERSION,
-                    "shard": claim,
-                    "fingerprint": fingerprint,
-                    "sys_path": sys_path,
-                }
-            ).encode("utf-8"),
-        )
+        welcome = {
+            "version": PROTOCOL_VERSION,
+            "shard": claim,
+            "fingerprint": fingerprint,
+            "sys_path": sys_path,
+        }
+        if recover_barrier is None:
+            send_frame(
+                conn, _K_WELCOME, json.dumps(welcome).encode("utf-8")
+            )
+        else:
+            welcome["barrier"] = recover_barrier
+            send_frame(
+                conn, _K_RECOVER, json.dumps(welcome).encode("utf-8")
+            )
         send_frame(conn, _K_JOB, job_blob)
         context = f"tcp coordinator awaiting READY from shard {claim}"
         kind, payload = recv_frame(conn, context)
@@ -677,11 +889,406 @@ class TcpCoordinator:
         unclaimed.discard(claim)
         self.connections[claim] = conn
 
+    # -- the supervision pump ------------------------------------------------
+
+    def _quarantine_connection(self, shard_id: int) -> None:
+        """Close and forget a dead (or stale) worker connection so no
+        later read can confuse its leftovers with live traffic."""
+        conn = self.connections[shard_id]
+        self.connections[shard_id] = None
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - close races
+                pass
+
+    def _service_heartbeats(self) -> None:
+        """Drain ready PINGs without blocking — called from wait loops
+        (recovery accept) so parked workers keep getting PONGs while the
+        coordinator is busy elsewhere."""
+        live = {
+            conn: shard_id
+            for shard_id, conn in enumerate(self.connections)
+            if conn is not None
+        }
+        if not live:
+            return
+        try:
+            readable, _, _ = select.select(list(live), [], [], 0.0)
+        except (OSError, ValueError):  # pragma: no cover - close races
+            return
+        for conn in readable:
+            shard_id = live[conn]
+            try:
+                kind, _payload = recv_frame(
+                    conn, f"tcp coordinator servicing shard {shard_id}"
+                )
+            except SimulationError as exc:
+                self._failed[shard_id] = (
+                    f"worker {shard_id} died mid-window "
+                    f"(no sync/done/error message: {exc})"
+                )
+                self._quarantine_connection(shard_id)
+                continue
+            if kind == _K_PING:
+                self.faults["heartbeats"] += 1
+                try:
+                    send_frame(conn, _K_PONG)
+                except OSError:
+                    pass
+            else:
+                self._failed[shard_id] = (
+                    f"worker {shard_id} sent unexpected frame kind {kind} "
+                    "out of turn"
+                )
+                self._quarantine_connection(shard_id)
+
+    def _await_frames(
+        self, awaiting: Set[int], barrier: int
+    ) -> Dict[int, Tuple[int, Any]]:
+        """One protocol frame from every awaited shard, pumping the whole
+        fleet's heartbeats meanwhile.
+
+        Replaces per-connection blocking reads with a select loop over
+        every live connection: PINGs (from anyone) are answered with
+        PONGs and refresh that shard's activity clock; a shard that
+        produces *no* frame at all for the read deadline — or whose
+        connection yields EOF/garbage — comes back as the ``_K_DEAD``
+        sentinel with the died-mid-window message, for the supervision
+        loop to recover or surface.  Failures on non-awaited shards are
+        stashed in ``_failed`` until that shard is awaited.
+        """
+        results: Dict[int, Tuple[int, Any]] = {}
+        pending: Set[int] = set()
+        for shard_id in awaiting:
+            if self.connections[shard_id] is None:
+                results[shard_id] = (
+                    _K_DEAD,
+                    self._failed.pop(
+                        shard_id,
+                        f"worker {shard_id} died mid-window "
+                        "(connection already quarantined)",
+                    ),
+                )
+            else:
+                pending.add(shard_id)
+        last_seen = {shard_id: time.monotonic() for shard_id in pending}
+        while pending:
+            live = {
+                conn: shard_id
+                for shard_id, conn in enumerate(self.connections)
+                if conn is not None
+            }
+            for shard_id in sorted(pending):
+                if self.connections[shard_id] is None:
+                    pending.discard(shard_id)
+                    results[shard_id] = (
+                        _K_DEAD,
+                        self._failed.pop(
+                            shard_id,
+                            f"worker {shard_id} died mid-window "
+                            "(connection already quarantined)",
+                        ),
+                    )
+            if not pending:
+                break
+            try:
+                readable, _, _ = select.select(list(live), [], [], 0.2)
+            except (OSError, ValueError):  # pragma: no cover - close races
+                readable = []
+            now = time.monotonic()
+            for conn in readable:
+                shard_id = live[conn]
+                if self.connections[shard_id] is not conn:
+                    continue  # quarantined earlier in this pass
+                try:
+                    kind, payload = recv_frame(
+                        conn,
+                        f"tcp coordinator waiting on shard {shard_id} "
+                        f"at barrier {barrier}",
+                    )
+                except SimulationError as exc:
+                    message = (
+                        f"worker {shard_id} died mid-window "
+                        f"(no sync/done/error message: {exc})"
+                    )
+                    self._quarantine_connection(shard_id)
+                    if shard_id in pending:
+                        pending.discard(shard_id)
+                        results[shard_id] = (_K_DEAD, message)
+                    else:
+                        self._failed[shard_id] = message
+                    continue
+                if kind == _K_PING:
+                    self.faults["heartbeats"] += 1
+                    if shard_id in last_seen:
+                        last_seen[shard_id] = now
+                    try:
+                        send_frame(conn, _K_PONG)
+                    except OSError:
+                        pass
+                    continue
+                if shard_id not in pending:
+                    self._failed[shard_id] = (
+                        f"worker {shard_id} sent unexpected frame kind "
+                        f"{kind} out of turn"
+                    )
+                    self._quarantine_connection(shard_id)
+                    continue
+                pending.discard(shard_id)
+                if kind not in (_K_SYNC, _K_DONE, _K_ERROR):
+                    results[shard_id] = (
+                        _K_ERROR,
+                        (
+                            f"worker {shard_id} sent unexpected frame kind "
+                            f"{kind} at barrier {barrier}"
+                        ).encode("utf-8"),
+                    )
+                else:
+                    results[shard_id] = (kind, payload)
+            now = time.monotonic()
+            for shard_id in sorted(pending):
+                if now - last_seen[shard_id] > self.timeout:
+                    # Nothing — not even a heartbeat — inside the
+                    # deadline: a half-open socket.  A live shard in a
+                    # long compute window keeps pinging and never lands
+                    # here.
+                    message = (
+                        f"worker {shard_id} died mid-window "
+                        "(no sync/done/error message: tcp coordinator "
+                        f"waiting on shard {shard_id} at barrier {barrier}: "
+                        f"no data within the {self.timeout:.0f}s deadline "
+                        f"({TCP_TIMEOUT_ENV}))"
+                    )
+                    self._quarantine_connection(shard_id)
+                    pending.discard(shard_id)
+                    results[shard_id] = (_K_DEAD, message)
+        return results
+
+    # -- in-run recovery -----------------------------------------------------
+
+    def _recover(
+        self,
+        shard_id: int,
+        reason: str,
+        job_blob: bytes,
+        fingerprint: str,
+        barrier: int,
+    ) -> None:
+        """Respawn a dead worker's slot and replay it to ``barrier``.
+
+        Raises (after aborting the fleet) when recovery is impossible:
+        no WAL to replay from — the graceful degradation to the
+        pre-recovery loud abort, naming the missing checkpoint — or the
+        respawn budget is spent, or the replacement itself fails.
+        """
+        self.faults["worker_deaths"] += 1
+        if self.wal is None:
+            failure = (
+                f"{reason}; no WAL checkpoint to replay a replacement "
+                "worker from — run with --wal PATH to enable in-run "
+                "recovery"
+            )
+            self._abort_all(failure)
+            raise SimulationError(f"tcp shard worker failed:\n{failure}")
+        if self._respawn_budget <= 0:
+            failure = (
+                f"{reason}; worker respawn budget exhausted "
+                f"({TCP_MAX_RESPAWNS_ENV}={tcp_max_respawns()})"
+            )
+            self._abort_all(failure)
+            raise SimulationError(f"tcp shard worker failed:\n{failure}")
+        self._respawn_budget -= 1
+        try:
+            self._spawn_one(shard_id, self.hosts[shard_id])
+            self._accept_recovered(shard_id, job_blob, fingerprint, barrier)
+            self._replay_prefix(shard_id, barrier)
+        except SimulationError as exc:
+            self._abort_all(str(exc))
+            raise
+        self.faults["respawns"] += 1
+
+    def _accept_recovered(
+        self,
+        shard_id: int,
+        job_blob: bytes,
+        fingerprint: str,
+        barrier: int,
+    ) -> None:
+        """Accept the replacement worker for one dead slot.
+
+        Only ``shard_id`` is open: garbage and stale/duplicate claims
+        are rejected (and counted quarantined) like during assembly,
+        version/fingerprint mismatches stay run-fatal.  Heartbeats from
+        the surviving fleet are serviced between accept attempts so
+        parked workers never starve while the slot refills.
+        """
+        unclaimed = {shard_id}
+        sys_path = self._sys_path()
+        deadline = time.monotonic() + self.timeout
+        self.listener.settimeout(0.2)
+        # Poll only the replacement process (the predecessor's corpse is
+        # still in self.processes with its non-zero exit code — that is
+        # exactly the death being recovered, not a new failure).
+        spawned = (
+            self.processes[-1]
+            if self.processes
+            and self.processes[-1][0] == shard_id
+            and self.hosts[shard_id] != "wait"
+            else None
+        )
+        while unclaimed:
+            self._service_heartbeats()
+            if spawned is not None:
+                code = spawned[1].poll()
+                if code is not None and code != 0:
+                    raise SimulationError(
+                        f"respawned tcp worker for shard {shard_id} exited "
+                        f"with code {code} before completing its RECOVER "
+                        "handshake"
+                    )
+            if time.monotonic() > deadline:
+                raise SimulationError(
+                    f"tcp coordinator timed out after {self.timeout:.0f}s "
+                    f"({TCP_TIMEOUT_ENV}) waiting for a replacement worker "
+                    f"for shard {shard_id}"
+                )
+            try:
+                conn, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            _configure(conn, self.timeout)
+            self._handshake(
+                conn, unclaimed, job_blob, fingerprint, sys_path,
+                recover_barrier=barrier,
+            )
+
+    def _replay_prefix(self, shard_id: int, barrier: int) -> None:
+        """Re-feed the recovered worker the logged prefix up to (not
+        including) ``barrier``.
+
+        The newcomer re-executes the workload from scratch and cannot
+        tell replay from live windows: its syncs are verified against
+        the WAL's retained records (scalars field-by-field, frame blobs
+        byte-for-byte — the same discipline as resume) and its decisions
+        are rebuilt from the log.  Its outbound frames are discarded —
+        the original recipients got them from the first incarnation.
+        """
+        for replay_barrier in range(barrier):
+            record = self.wal.window_record(replay_barrier)
+            kind, payload = self._await_frames(
+                {shard_id}, replay_barrier
+            )[shard_id]
+            if kind == _K_DEAD:
+                raise SimulationError(
+                    f"replacement worker for shard {shard_id} died during "
+                    f"WAL replay at window {replay_barrier}: {payload}"
+                )
+            if kind == _K_ERROR:
+                raise SimulationError(
+                    f"replacement worker for shard {shard_id} failed during "
+                    f"WAL replay at window {replay_barrier}:\n"
+                    + payload.decode("utf-8", "replace")
+                )
+            if kind != _K_SYNC:
+                raise SimulationError(
+                    f"replacement worker for shard {shard_id} sent frame "
+                    f"kind {kind} at replay window {replay_barrier}, "
+                    "expected a sync"
+                )
+            self._verify_replay(
+                shard_id, replay_barrier, record, pickle.loads(payload)
+            )
+            inbound = [
+                (src_shard, record.frames[(src_shard, shard_id)])
+                for src_shard in range(self.num_shards)
+                if (src_shard, shard_id) in record.frames
+            ]
+            decision = pickle.dumps(
+                (record.window_start, record.global_last,
+                 record.total_executed, inbound, record.control),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            send_frame(self.connections[shard_id], _K_DECISION, decision)
+            self.faults["replayed_windows"] += 1
+
+    def _verify_replay(
+        self, shard_id: int, barrier: int, record: Any, status: tuple
+    ) -> None:
+        """A replayed sync must be bit-identical to what the log says the
+        first incarnation sent — any drift means the replacement is not
+        the worker it claims to be, and the run must die before the drift
+        can touch the digest."""
+        next_time, last_time, executed, _min_outbound, requests, extras, \
+            blobs = status
+        logged = record.statuses[shard_id]
+        for name, live_value, index in (
+            ("next event time", next_time, 0),
+            ("last event time", last_time, 1),
+            ("executed count", executed, 2),
+            ("control requests", requests, 3),
+        ):
+            if logged[index] != live_value:
+                raise SimulationError(
+                    f"RECOVER divergence at window {barrier}: shard "
+                    f"{shard_id} {name} differs from the WAL "
+                    f"(logged {logged[index]!r}, replayed {live_value!r})"
+                )
+        logged_extras = logged[4]
+        if (logged_extras is None) != (extras is None) or (
+            logged_extras is not None and logged_extras != extras
+        ):
+            raise SimulationError(
+                f"RECOVER divergence at window {barrier}: shard {shard_id} "
+                "probe extras differ from the WAL"
+            )
+        logged_dsts = sorted(
+            dst for (src, dst) in record.frames if src == shard_id
+        )
+        if sorted(dst for dst, _ in blobs) != logged_dsts:
+            raise SimulationError(
+                f"RECOVER divergence at window {barrier}: shard {shard_id} "
+                f"exchange frame set differs from the WAL (logged "
+                f"{logged_dsts}, replayed {sorted(d for d, _ in blobs)})"
+            )
+        for dst_shard, blob in blobs:
+            if record.frames.get((shard_id, dst_shard)) != blob:
+                raise SimulationError(
+                    f"RECOVER divergence at window {barrier}: shard "
+                    f"{shard_id} exchange frame bytes to shard {dst_shard} "
+                    "differ from the WAL"
+                )
+
+    def _collect_round(
+        self, barrier: int, job_blob: bytes, fingerprint: str
+    ) -> Dict[int, Tuple[int, Any]]:
+        """One barrier's worth of protocol frames from every shard,
+        recovering dead workers in place when the WAL allows it."""
+        awaiting = set(range(self.num_shards))
+        round_messages: Dict[int, Tuple[int, Any]] = {}
+        while awaiting:
+            results = self._await_frames(awaiting, barrier)
+            awaiting = set()
+            for shard_id in sorted(results):
+                kind, payload = results[shard_id]
+                if kind != _K_DEAD:
+                    round_messages[shard_id] = (kind, payload)
+                    continue
+                # _recover raises (after aborting the fleet) when the
+                # death cannot be healed; otherwise the slot is live and
+                # replayed to this barrier — re-await its live frame.
+                self._recover(
+                    shard_id, payload, job_blob, fingerprint, barrier
+                )
+                awaiting.add(shard_id)
+        return round_messages
+
     # -- the barrier loop ----------------------------------------------------
 
-    def run(self, workload: Any) -> Tuple[List[tuple], int]:
+    def run(self, workload: Any) -> Tuple[List[tuple], int, Counter]:
         """Assemble the fleet and drive the run; mirrors ``_run_mp``'s
-        coordinator loop message for message."""
+        coordinator loop message for message, with the supervision pump
+        wrapped around every read."""
         self.bind()
         wal = self.wal
         plane = self.plane
@@ -704,31 +1311,15 @@ class TcpCoordinator:
             self._spawn_workers()
             self._accept_workers(job_blob, fingerprint)
             while True:
-                round_messages: Dict[int, Tuple[int, Any]] = {}
-                for shard_id, conn in enumerate(self.connections):
-                    try:
-                        kind, payload = recv_frame(
-                            conn,
-                            f"tcp coordinator waiting on shard {shard_id} "
-                            f"at barrier {windows}",
-                        )
-                    except SimulationError as exc:
-                        kind, payload = _K_ERROR, (
-                            f"worker {shard_id} died mid-window "
-                            f"(no sync/done/error message: {exc})"
-                        ).encode("utf-8")
-                    if kind not in (_K_SYNC, _K_DONE, _K_ERROR):
-                        kind, payload = _K_ERROR, (
-                            f"worker {shard_id} sent unexpected frame kind "
-                            f"{kind} at barrier {windows}"
-                        ).encode("utf-8")
-                    round_messages[shard_id] = (kind, payload)
+                round_messages = self._collect_round(
+                    windows, job_blob, fingerprint
+                )
                 kinds = {kind for kind, _ in round_messages.values()}
                 if _K_ERROR in kinds:
                     failure = next(
-                        payload.decode("utf-8", "replace")
-                        for kind, payload in round_messages.values()
-                        if kind == _K_ERROR
+                        round_messages[shard_id][1].decode("utf-8", "replace")
+                        for shard_id in sorted(round_messages)
+                        if round_messages[shard_id][0] == _K_ERROR
                     )
                     self._abort_synced(round_messages, failure)
                     raise SimulationError(
@@ -805,56 +1396,63 @@ class TcpCoordinator:
                          control),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
+                    conn = self.connections[shard_id]
+                    if conn is None:
+                        continue
                     try:
-                        send_frame(
-                            self.connections[shard_id], _K_DECISION, decision
-                        )
+                        send_frame(conn, _K_DECISION, decision)
                     except OSError:
                         # The worker died after syncing; its next read slot
-                        # surfaces the loud died-mid-window error.
+                        # surfaces the loud died-mid-window error (or the
+                        # supervision loop recovers it).
                         pass
         finally:
             self.close()
-        return payloads, windows
+        return payloads, windows, self.faults
 
     def _abort_synced(
         self, round_messages: Dict[int, Tuple[int, Any]], failure: str
     ) -> None:
+        # Per-connection guards: one already-dead socket must never mask
+        # the original failure being reported.
         for shard_id, (kind, _) in round_messages.items():
-            if kind == _K_SYNC:
-                try:
-                    send_frame(
-                        self.connections[shard_id], _K_ABORT,
-                        failure.encode("utf-8"),
-                    )
-                except OSError:
-                    pass
+            conn = self.connections[shard_id]
+            if kind != _K_SYNC or conn is None:
+                continue
+            try:
+                send_frame(conn, _K_ABORT, failure.encode("utf-8"))
+            except Exception:
+                pass
 
     def _abort_all(self, failure: str) -> None:
         for conn in self.connections:
-            if conn is not None:
-                try:
-                    send_frame(conn, _K_ABORT, failure.encode("utf-8"))
-                except OSError:
-                    pass
+            if conn is None:
+                continue
+            try:
+                send_frame(conn, _K_ABORT, failure.encode("utf-8"))
+            except Exception:
+                pass
 
     def close(self) -> None:
         """Full teardown: release every worker, close every socket, reap
-        every spawned process — no orphan sockets, no zombie workers."""
+        every spawned process — no orphan sockets, no zombie workers.
+        Every step is individually guarded: a broken pipe mid-teardown
+        must never mask the error that triggered it."""
         for conn in self.connections:
-            if conn is not None:
-                try:
-                    send_frame(conn, _K_BYE)
-                except OSError:
-                    pass
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover - close races
-                    pass
+            if conn is None:
+                continue
+            try:
+                send_frame(conn, _K_BYE)
+            except Exception:
+                pass
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - close races
+                pass
         if self.listener is not None:
             try:
                 self.listener.close()
-            except OSError:  # pragma: no cover - close races
+            except Exception:  # pragma: no cover - close races
                 pass
         for _shard_id, process in self.processes:
             try:
@@ -876,7 +1474,7 @@ def run_tcp(
     plane: Any = None,
     use_frames: bool = True,
     wal: Any = None,
-) -> Tuple[List[tuple], int]:
+) -> Tuple[List[tuple], int, Counter]:
     """The ``executor="tcp"`` runner (the :func:`_run_mp` signature)."""
     if not use_frames:
         raise ConfigurationError(

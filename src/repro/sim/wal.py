@@ -86,13 +86,15 @@ def config_fingerprint(config: Any) -> Dict[str, Any]:
 
     Everything that shapes the event stream participates; ``wal``/
     ``resume`` (log plumbing, not physics), ``executor`` (serial, mp, and
-    tcp runs are byte-equivalent, so cross-executor resume is legal), and
-    the tcp placement fields (where workers run, not what they compute)
-    are excluded.
+    tcp runs are byte-equivalent, so cross-executor resume is legal),
+    the tcp placement fields (where workers run, not what they compute),
+    and ``faults`` (an injected fault schedule plus its recovery leaves
+    the event stream untouched — that is the fault plane's proof
+    obligation) are excluded.
     """
     fields = asdict(config)
     for key in ("wal", "resume", "executor", "tcp_host", "tcp_port",
-                "tcp_hosts"):
+                "tcp_hosts", "faults"):
         fields.pop(key, None)
     return fields
 
@@ -389,6 +391,7 @@ class WalSession:
         num_shards: int,
         lookahead: float,
         use_frames: bool,
+        retain_records: bool = False,
     ) -> None:
         if not use_frames:
             raise ConfigurationError(
@@ -407,6 +410,11 @@ class WalSession:
         self.writer: Optional[WalWriter] = None
         self._verified = 0
         self._appended = 0
+        #: in-run recovery (the tcp executor): keep every barrier's record
+        #: in memory so a respawned worker can be replayed to the current
+        #: barrier without re-reading the log file mid-run
+        self._retain = retain_records
+        self.records: List[WindowRecord] = []
 
         fingerprint = config_fingerprint(config)
         if resume_path:
@@ -494,6 +502,8 @@ class WalSession:
                 f"{len(self.logged)} windows (committed)",
                 "a run that kept going",
             )
+        if self._retain:
+            self.records.append(record)
 
     def _verify(self, live: WindowRecord) -> None:
         logged = self.logged[live.barrier]
@@ -564,6 +574,16 @@ class WalSession:
                 barrier, f"shard {shard_id} probe extras",
                 f"{len(logged_extras)}B blob", f"{len(live_extras)}B blob",
             )
+
+    def window_record(self, barrier: int) -> WindowRecord:
+        """The record this run logged (or verified) at ``barrier`` — the
+        replay source for in-run worker recovery (``retain_records``)."""
+        if barrier >= len(self.records):
+            raise SimulationError(
+                f"no retained WAL record for window {barrier} "
+                f"({len(self.records)} windows retained this run)"
+            )
+        return self.records[barrier]
 
     # -- run end ------------------------------------------------------------
 

@@ -259,7 +259,7 @@ def run_training_sharded(
     protocol: str, overlay: str, variant: str, shards: int,
     executor: str = "serial", codec: str = "identity",
     num_peers: int = NUM_PEERS, control_plane: str = "replicated",
-    wal: str = None, resume: str = None,
+    wal: str = None, resume: str = None, faults: str = None,
 ):
     """Train one combo through the K-shard kernel; returns the
     :class:`repro.sim.shard.ShardedRun` (merged stats + agreed clock).
@@ -267,6 +267,8 @@ def run_training_sharded(
     ``control_plane="directory"`` replays the same training with the
     directory-served control plane (overlay snapshot + per-window deltas)
     instead of SPMD replication — the digest must not change.
+    ``faults`` injects a seeded fault schedule (tcp executor only); the
+    chaos suites assert the recovered digest is byte-identical anyway.
     """
     from dataclasses import replace
 
@@ -276,8 +278,8 @@ def run_training_sharded(
         overlay, variant, num_peers=num_peers, codec=codec,
         rng_mode="perpeer", shards=shards, control_plane=control_plane,
     )
-    if wal or resume:
-        config = replace(config, wal=wal, resume=resume)
+    if wal or resume or faults:
+        config = replace(config, wal=wal, resume=resume, faults=faults)
     return ShardedScenario(config, executor=executor).run(
         training_workload(protocol, variant, codec)
     )

@@ -140,3 +140,26 @@ def test_tcp_retries_rejects_malformed_and_out_of_range(monkeypatch, raw):
     with pytest.raises(SimulationError, match=TCP_RETRIES_ENV) as excinfo:
         tcp_retries()
     assert ">= 1" in str(excinfo.value) or "expected" in str(excinfo.value)
+
+
+def test_tcp_max_respawns_default_and_parse(monkeypatch):
+    from repro.sim.tcpexec import TCP_MAX_RESPAWNS_ENV, tcp_max_respawns
+
+    monkeypatch.delenv(TCP_MAX_RESPAWNS_ENV, raising=False)
+    assert tcp_max_respawns() == 3
+    monkeypatch.setenv(TCP_MAX_RESPAWNS_ENV, "0")  # 0 disables recovery
+    assert tcp_max_respawns() == 0
+    monkeypatch.setenv(TCP_MAX_RESPAWNS_ENV, " 7 ")
+    assert tcp_max_respawns() == 7
+
+
+@pytest.mark.parametrize("raw", ["", "abc", "1.5", "-1"])
+def test_tcp_max_respawns_rejects_malformed_and_out_of_range(
+    monkeypatch, raw
+):
+    from repro.sim.tcpexec import TCP_MAX_RESPAWNS_ENV, tcp_max_respawns
+
+    monkeypatch.setenv(TCP_MAX_RESPAWNS_ENV, raw)
+    with pytest.raises(SimulationError, match=TCP_MAX_RESPAWNS_ENV) as excinfo:
+        tcp_max_respawns()
+    assert ">= 0" in str(excinfo.value) or "expected" in str(excinfo.value)

@@ -210,6 +210,21 @@ def test_backoff_schedule_is_capped_exponential():
     assert backoff_schedule(3, base=0.01, cap=0.015) == [0.01, 0.015]
 
 
+def test_backoff_jitter_is_seeded_and_bounded():
+    """Seeded jitter scales each delay into [0.5, 1.0) of the unjittered
+    value — reproducible per seed, spread across seeds, and the default
+    (unseeded) schedule stays exactly the historical one."""
+    base = backoff_schedule(8)
+    jittered = backoff_schedule(8, jitter_seed=7)
+    assert jittered == backoff_schedule(8, jitter_seed=7)
+    assert all(
+        0.5 * delay <= value < delay
+        for value, delay in zip(jittered, base)
+    )
+    assert jittered != backoff_schedule(8, jitter_seed=8)
+    assert backoff_schedule(8, jitter_seed=None) == base
+
+
 def test_connect_with_retry_gives_up_loudly():
     """A dead port exhausts the retry budget and the error names the
     attempt count and its knob."""
@@ -267,7 +282,7 @@ def test_fingerprint_excludes_placement_but_not_physics():
     base = _config(8, shards=2)
     moved = _config(
         8, shards=2, executor="tcp", tcp_hosts="wait", tcp_port=9001,
-        wal="/tmp/x.wal",
+        wal="/tmp/x.wal", faults="seed=7,crash",
     )
     reseeded = _config(8, shards=2, seed=6)
     assert fingerprint_digest(base) == fingerprint_digest(moved)

@@ -262,6 +262,39 @@ def test_resume_and_relog_to_fresh_file(tmp_path):
     assert WalReader(old).commit is None  # OLD keeps its 5-window prefix
 
 
+def test_resume_zero_window_log(tmp_path):
+    """Resuming a header-only log (every window chopped off) is legal:
+    nothing verifies, the whole run executes live, and the digest still
+    lands on the golden — the degenerate prefix is just 'from scratch'."""
+    expected = golden("chord/pace/churn/k2")
+    wal = str(tmp_path / "empty.wal")
+    run_training_sharded("pace", "chord", "churn", 2, wal=wal)
+    truncate_wal(wal, 0)
+    reader = WalReader(wal)
+    assert reader.windows == [] and reader.commit is None
+    resumed = run_training_sharded("pace", "chord", "churn", 2, resume=wal)
+    assert resumed.digest() == expected
+
+
+def test_torn_tail_at_first_window_record(tmp_path):
+    """A log whose torn tail is the *first* window record: the reader
+    discards it (zero verified windows) and resume replays from scratch
+    to the identical digest — the crash-window edge case of the torn-tail
+    rule."""
+    expected = golden("chord/pace/churn/k2")
+    wal = str(tmp_path / "torn.wal")
+    run_training_sharded("pace", "chord", "churn", 2, wal=wal)
+    truncate_wal(wal, 1)  # exactly one window record
+    with open(wal, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        handle.truncate(handle.tell() - 7)  # tear into that record
+    reader = WalReader(wal)
+    assert reader.truncated
+    assert reader.windows == []
+    resumed = run_training_sharded("pace", "chord", "churn", 2, resume=wal)
+    assert resumed.digest() == expected
+
+
 # ---------------------------------------------------------------------------
 # Resume-at-every-window fuzz (K=2 storm combo).
 # ---------------------------------------------------------------------------
